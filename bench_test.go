@@ -1,0 +1,324 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one family
+// per table/figure (see DESIGN.md §5 and EXPERIMENTS.md):
+//
+//	BenchmarkFig3Characteristics  — Figure 3 columns as reported metrics
+//	BenchmarkFig4                 — Figure 4 grid: benchmark × detector × mode × workers
+//	BenchmarkFig5Memory           — Figure 5: reachability memory as reported metrics
+//	BenchmarkAblationReaderPolicy — ABL1: ReadersAll vs ReadersLR histories
+//	BenchmarkAblationGpMerge      — ABL2: §3.4 merge-on-divergence vs always-merge
+//	BenchmarkAblationBitmapVsHash — ABL3: SF-Order bitmaps vs F-Order tables, reach only
+//
+// Benchmark inputs are reduced from the paper's (its testbed ran minutes
+// per cell on a 20-core Xeon); the overhead and memory ratios — the
+// quantities the paper's claims are about — are preserved. Run with:
+//
+//	go test -bench=. -benchmem
+package sforder_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sforder"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/forder"
+	"sforder/internal/harness"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+	"sforder/internal/workload"
+)
+
+// benchSet returns the five paper benchmarks at benchmark-friendly
+// sizes (a full -bench=. sweep stays in the minutes).
+func benchSet() []*workload.Benchmark {
+	return []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.Sort(20_000, 512),
+		workload.SW(128, 16),
+		workload.HW(4, 16, 256),
+		workload.Ferret(16, 256),
+	}
+}
+
+// measure runs one harness configuration per iteration, excluding input
+// generation from the timing.
+func measure(b *testing.B, bench *workload.Benchmark, cfg harness.Config) *harness.Result {
+	b.Helper()
+	var last *harness.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		run := bench.Make()
+		b.StartTimer()
+		res, err := runPrepared(run, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// runPrepared is harness.Run with the workload instance pre-built.
+func runPrepared(run *workload.Run, cfg harness.Config) (*harness.Result, error) {
+	// Reuse the harness by wrapping the prepared run in a one-shot
+	// benchmark (Make returns the same instance once).
+	used := false
+	wrapper := &workload.Benchmark{Name: "prepared", Make: func() *workload.Run {
+		if used {
+			panic("bench: prepared run reused")
+		}
+		used = true
+		return run
+	}}
+	return harness.Run(wrapper, cfg)
+}
+
+// BenchmarkFig3Characteristics reports the Figure 3 columns as metrics
+// on a full SF-Order run per benchmark.
+func BenchmarkFig3Characteristics(b *testing.B) {
+	for _, bench := range benchSet() {
+		bench := bench
+		b.Run(bench.Name, func(b *testing.B) {
+			res := measure(b, bench, harness.Config{
+				Detector: harness.SFOrder, Mode: harness.Full, Serial: true, CountAccesses: true,
+			})
+			b.ReportMetric(float64(res.Counts.Reads), "reads")
+			b.ReportMetric(float64(res.Counts.Writes), "writes")
+			b.ReportMetric(float64(res.Queries), "queries")
+			b.ReportMetric(float64(res.Counts.Futures-1), "futures")
+			b.ReportMetric(float64(res.Counts.Strands), "nodes")
+		})
+	}
+}
+
+// BenchmarkFig4 times every cell of the Figure 4 grid. MultiBags runs
+// serially only; the parallel detectors run at 1 worker and at
+// DefaultWorkers.
+func BenchmarkFig4(b *testing.B) {
+	tp := harness.DefaultWorkers()
+	type cell struct {
+		name string
+		cfg  harness.Config
+	}
+	for _, bench := range benchSet() {
+		bench := bench
+		cells := []cell{
+			{"base/T1", harness.Config{Mode: harness.Base, Serial: true}},
+			{"base/TP", harness.Config{Mode: harness.Base, Workers: tp}},
+		}
+		for _, mode := range []harness.Mode{harness.Reach, harness.Full} {
+			cells = append(cells,
+				cell{"MultiBags/" + mode.String() + "/T1",
+					harness.Config{Detector: harness.MultiBags, Mode: mode, Serial: true}},
+				cell{"F-Order/" + mode.String() + "/T1",
+					harness.Config{Detector: harness.FOrder, Mode: mode, Workers: 1}},
+				cell{"SF-Order/" + mode.String() + "/T1",
+					harness.Config{Detector: harness.SFOrder, Mode: mode, Workers: 1}},
+				cell{"F-Order/" + mode.String() + "/TP",
+					harness.Config{Detector: harness.FOrder, Mode: mode, Workers: tp}},
+				cell{"SF-Order/" + mode.String() + "/TP",
+					harness.Config{Detector: harness.SFOrder, Mode: mode, Workers: tp}},
+			)
+		}
+		for _, c := range cells {
+			c := c
+			b.Run(bench.Name+"/"+c.name, func(b *testing.B) {
+				res := measure(b, bench, c.cfg)
+				if res.Races != 0 {
+					b.Fatalf("benchmark must be race-free, got %d races", res.Races)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig5Memory reports reachability-maintenance memory per
+// detector per benchmark.
+func BenchmarkFig5Memory(b *testing.B) {
+	for _, bench := range benchSet() {
+		bench := bench
+		for _, det := range []harness.Detector{harness.FOrder, harness.SFOrder} {
+			det := det
+			b.Run(bench.Name+"/"+det.String(), func(b *testing.B) {
+				res := measure(b, bench, harness.Config{Detector: det, Mode: harness.Reach, Serial: true})
+				b.ReportMetric(float64(res.ReachMem), "reach-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationReaderPolicy (ABL1, §3.5 vs §4): the 2k-bounded
+// leftmost/rightmost history against the paper's all-readers history,
+// full detection with SF-Order.
+func BenchmarkAblationReaderPolicy(b *testing.B) {
+	for _, bench := range []*workload.Benchmark{workload.MM(64, 16), workload.SW(128, 16)} {
+		bench := bench
+		for _, policy := range []detect.ReaderPolicy{detect.ReadersAll, detect.ReadersLR} {
+			policy := policy
+			b.Run(bench.Name+"/"+policy.String(), func(b *testing.B) {
+				res := measure(b, bench, harness.Config{
+					Detector: harness.SFOrder, Mode: harness.Full, Serial: true, Policy: policy,
+				})
+				b.ReportMetric(float64(res.HistMem), "hist-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationGpMerge (ABL2, §3.4): the copy-on-write gp merge
+// policy against unconditional union allocation, on random future-heavy
+// programs.
+func BenchmarkAblationGpMerge(b *testing.B) {
+	// Seed 8 yields ~750 futures and ~300 gets at this shape.
+	prog := progen.New(progen.Config{Seed: 8, MaxDepth: 7, MaxOps: 10, Addrs: 64})
+	for _, variant := range []string{"merge-on-divergence", "always-merge"} {
+		variant := variant
+		b.Run(variant, func(b *testing.B) {
+			var merges uint64
+			for i := 0; i < b.N; i++ {
+				var r *core.Reach
+				if variant == "always-merge" {
+					r = core.NewReachAlwaysMerge()
+				} else {
+					r = core.NewReach()
+				}
+				if _, err := sched.Run(sched.Options{Serial: true, Tracer: r}, prog.Main()); err != nil {
+					b.Fatal(err)
+				}
+				merges = r.GPMerges()
+			}
+			b.ReportMetric(float64(merges), "gp-allocs")
+		})
+	}
+}
+
+// BenchmarkKSweep (KSWEEP): the O(k²) reachability-construction term,
+// isolated. Chain(k) holds per-future work constant while k grows;
+// reach-mode detector time should bend quadratically (each create copies
+// a Θ(k)-word cp bitmap) while base time stays linear in k. Both
+// parallel detectors are swept; fib (k=0) anchors the fork-join-only
+// cost.
+func BenchmarkKSweep(b *testing.B) {
+	for _, k := range []int{64, 256, 1024} {
+		bench := workload.Chain(k, 16)
+		for _, det := range []harness.Detector{harness.SFOrder, harness.FOrder} {
+			det := det
+			b.Run(fmt.Sprintf("chain-k%d/%s", k, det), func(b *testing.B) {
+				res := measure(b, bench, harness.Config{Detector: det, Mode: harness.Reach, Serial: true})
+				b.ReportMetric(float64(res.ReachMem), "reach-bytes")
+			})
+		}
+		b.Run(fmt.Sprintf("chain-k%d/base", k), func(b *testing.B) {
+			measure(b, bench, harness.Config{Mode: harness.Base, Serial: true})
+		})
+	}
+	b.Run("fib-n16/SF-Order", func(b *testing.B) {
+		measure(b, workload.Fib(16), harness.Config{Detector: harness.SFOrder, Mode: harness.Reach, Serial: true})
+	})
+}
+
+// BenchmarkAblationWSPDegeneration (ABL6, §2): on a pure fork-join
+// program, SF-Order must degenerate to WSP-Order plus near-free future
+// bookkeeping — the two should be close, with WSP-Order as the floor.
+func BenchmarkAblationWSPDegeneration(b *testing.B) {
+	fib := workload.Fib(16)
+	for _, det := range []sforder.Detector{sforder.WSPOrder, sforder.SFOrder} {
+		det := det
+		for _, mode := range []string{"reach", "full"} {
+			mode := mode
+			b.Run("fib/"+det.String()+"/"+mode, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					run := fib.Make()
+					b.StartTimer()
+					res, err := sforder.Run(sforder.Config{
+						Detector:         det,
+						Serial:           true,
+						ReachabilityOnly: mode == "reach",
+					}, run.Main)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.RaceCount != 0 {
+						b.Fatal("fib must be race-free")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationStrandFilter (ABL4, §6 future work): full SF-Order
+// detection with and without the strand-local redundancy filter that
+// drops repeated same-strand accesses before the history lock.
+func BenchmarkAblationStrandFilter(b *testing.B) {
+	for _, bench := range []*workload.Benchmark{workload.MM(64, 16), workload.HW(4, 16, 256)} {
+		bench := bench
+		for _, filtered := range []bool{false, true} {
+			filtered := filtered
+			name := bench.Name + "/unfiltered"
+			if filtered {
+				name = bench.Name + "/filtered"
+			}
+			b.Run(name, func(b *testing.B) {
+				res := measure(b, bench, harness.Config{
+					Detector: harness.SFOrder, Mode: harness.Full, Serial: true, Filter: filtered,
+				})
+				b.ReportMetric(float64(res.Queries), "queries")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationShadowBackend (ABL5, §4): the paper's two-level
+// direct-mapped shadow table against the sharded-map default, full
+// SF-Order detection.
+func BenchmarkAblationShadowBackend(b *testing.B) {
+	for _, bench := range []*workload.Benchmark{workload.MM(64, 16), workload.Sort(20_000, 512)} {
+		bench := bench
+		for _, backend := range []detect.Backend{detect.BackendShardedMap, detect.BackendTwoLevel} {
+			backend := backend
+			b.Run(bench.Name+"/"+backend.String(), func(b *testing.B) {
+				res := measure(b, bench, harness.Config{
+					Detector: harness.SFOrder, Mode: harness.Full, Serial: true, Backend: backend,
+				})
+				b.ReportMetric(float64(res.HistMem), "hist-bytes")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBitmapVsHash (ABL3, §4): the reach-only overhead gap
+// between SF-Order's bitmaps and F-Order's per-node hash tables on a
+// future-heavy random program — the isolated version of the paper's
+// explanation for Figure 4's reach rows.
+func BenchmarkAblationBitmapVsHash(b *testing.B) {
+	// Seed 3 yields ~570 futures at this shape.
+	prog := progen.New(progen.Config{Seed: 3, MaxDepth: 7, MaxOps: 10, Addrs: 64})
+	for _, det := range []harness.Detector{harness.SFOrder, harness.FOrder} {
+		det := det
+		b.Run(det.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var tracer sched.Tracer
+				var mem func() int
+				switch det {
+				case harness.SFOrder:
+					r := core.NewReach()
+					tracer, mem = r, r.MemBytes
+				default:
+					r := forder.NewReach()
+					tracer, mem = r, r.MemBytes
+				}
+				if _, err := sched.Run(sched.Options{Serial: true, Tracer: tracer}, prog.Main()); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(mem()), "reach-bytes")
+				}
+			}
+		})
+	}
+}

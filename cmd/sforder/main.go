@@ -1,0 +1,171 @@
+// Command sforder runs the paper's benchmarks under the three race
+// detectors and regenerates the evaluation tables:
+//
+//	sforder -table fig3                # benchmark characteristics
+//	sforder -table fig4 -workers 4     # base/reach/full timing grid
+//	sforder -table fig5                # reachability memory comparison
+//	sforder -table abl                 # reader-policy ablation
+//	sforder -bench sw -detector sforder -mode full -workers 2
+//
+// -scale selects preset input sizes (test, bench, large); see
+// EXPERIMENTS.md for how each table corresponds to the paper's figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"sforder/internal/detect"
+	"sforder/internal/harness"
+	"sforder/internal/workload"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "", "table to regenerate: fig3, fig4, fig5, abl")
+		scale    = flag.String("scale", "bench", "input scale: test, bench, large")
+		workers  = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
+		repeats  = flag.Int("repeats", 1, "best-of-N timing repeats")
+		bench    = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret")
+		detector = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
+		mode     = flag.String("mode", "full", "mode for -bench: base, reach, full")
+		policy   = flag.String("policy", "all", "reader policy for full mode: all, lr")
+		jsonOut  = flag.Bool("json", false, "emit the table as JSON instead of text")
+	)
+	flag.Parse()
+
+	sc, ok := map[string]workload.Scale{
+		"test":  workload.ScaleTest,
+		"bench": workload.ScaleBench,
+		"large": workload.ScaleLarge,
+	}[*scale]
+	if !ok {
+		fatalf("unknown scale %q", *scale)
+	}
+	benches := workload.All(sc)
+
+	switch {
+	case *table != "":
+		runTable(*table, benches, *workers, *repeats, *scale, *jsonOut)
+	case *bench != "":
+		runOne(*bench, sc, *detector, *mode, *policy, *workers)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable(table string, benches []*workload.Benchmark, workers, repeats int, scale string, jsonOut bool) {
+	report := &harness.Report{Env: harness.Env{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Repeats:    repeats,
+		Scale:      scale,
+	}}
+	switch table {
+	case "fig3":
+		rows, err := harness.Fig3(benches)
+		check(err)
+		if jsonOut {
+			report.Fig3 = rows
+			break
+		}
+		fmt.Println("Figure 3: benchmark execution characteristics")
+		harness.PrintFig3(os.Stdout, rows)
+	case "fig4":
+		rows, err := harness.Fig4(benches, workers, repeats)
+		check(err)
+		if jsonOut {
+			report.Fig4 = rows
+			break
+		}
+		fmt.Printf("Figure 4: execution times (P=%d workers, GOMAXPROCS=%d, best of %d)\n",
+			workers, runtime.GOMAXPROCS(0), repeats)
+		harness.PrintFig4(os.Stdout, rows)
+	case "fig5":
+		rows, err := harness.Fig5(benches)
+		check(err)
+		if jsonOut {
+			report.Fig5 = rows
+			break
+		}
+		fmt.Println("Figure 5: reachability-maintenance memory")
+		harness.PrintFig5(os.Stdout, rows)
+	case "abl":
+		rows, err := harness.AblationReaderPolicy(benches, repeats)
+		check(err)
+		if jsonOut {
+			report.Ablation = rows
+			break
+		}
+		fmt.Println("Ablation: SF-Order access-history reader policy (all vs lr)")
+		harness.PrintAblation(os.Stdout, rows)
+	default:
+		fatalf("unknown table %q (want fig3, fig4, fig5, abl)", table)
+	}
+	if jsonOut {
+		check(report.WriteJSON(os.Stdout))
+	}
+}
+
+func runOne(name string, sc workload.Scale, detector, mode, policy string, workers int) {
+	b := workload.ByName(name, sc)
+	if b == nil {
+		fatalf("unknown benchmark %q", name)
+	}
+	det, ok := map[string]harness.Detector{
+		"sforder":   harness.SFOrder,
+		"forder":    harness.FOrder,
+		"multibags": harness.MultiBags,
+	}[detector]
+	if !ok {
+		fatalf("unknown detector %q", detector)
+	}
+	md, ok := map[string]harness.Mode{
+		"base":  harness.Base,
+		"reach": harness.Reach,
+		"full":  harness.Full,
+	}[mode]
+	if !ok {
+		fatalf("unknown mode %q", mode)
+	}
+	pol, ok := map[string]detect.ReaderPolicy{
+		"all": detect.ReadersAll,
+		"lr":  detect.ReadersLR,
+	}[policy]
+	if !ok {
+		fatalf("unknown policy %q", policy)
+	}
+	cfg := harness.Config{
+		Detector: det,
+		Mode:     md,
+		Workers:  workers,
+		Serial:   det == harness.MultiBags,
+		Policy:   pol,
+	}
+	res, err := harness.Run(b, cfg)
+	check(err)
+	fmt.Printf("%s  detector=%v mode=%v workers=%d\n", b, det, md, workers)
+	fmt.Printf("  time      %v\n", res.Elapsed)
+	fmt.Printf("  strands   %d\n", res.Counts.Strands)
+	fmt.Printf("  futures   %d\n", res.Counts.Futures-1)
+	fmt.Printf("  queries   %d\n", res.Queries)
+	fmt.Printf("  races     %d\n", res.Races)
+	fmt.Printf("  reach mem %d bytes\n", res.ReachMem)
+	if md == harness.Full {
+		fmt.Printf("  hist mem  %d bytes\n", res.HistMem)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sforder: "+format+"\n", args...)
+	os.Exit(1)
+}

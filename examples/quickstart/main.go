@@ -1,0 +1,42 @@
+// Quickstart: detect a determinacy race between a future task and its
+// creator's continuation in ~30 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"sforder"
+)
+
+func main() {
+	// The future body and the continuation both write balance (shadow
+	// address 0) with no ordering between them: a determinacy race.
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder}, func(t *sforder.Task) {
+		balance := 100
+
+		h := t.Create(func(c *sforder.Task) any {
+			c.Write(0) // annotate: this strand writes `balance`
+			balance -= 30
+			return balance
+		})
+
+		t.Write(0) // annotate: so does the continuation — race!
+		balance += 10
+
+		final := sforder.GetTyped[int](t, h)
+		fmt.Println("final balance (nondeterministic!):", final)
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("detected %d race(s):\n", res.RaceCount)
+	for _, r := range res.Races {
+		fmt.Println("  ", r)
+	}
+	if res.RaceCount == 0 {
+		fmt.Println("  (none — unexpected; this program is racy by design)")
+	}
+}

@@ -1,0 +1,3 @@
+module sforder
+
+go 1.22

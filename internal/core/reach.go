@@ -1,0 +1,249 @@
+// Package core implements SF-Order, the paper's contribution: a parallel
+// reachability component for race detecting programs with structured
+// futures (§3), answering Precedes queries in amortized constant time.
+//
+// SF-Order maintains three structures (§3.2):
+//
+//  1. Two order-maintenance lists — English and Hebrew — holding every
+//     strand of the pseudo-SP-dag PSP(D): the series-parallel
+//     approximation of the SF-dag obtained by converting create edges to
+//     spawn edges, dropping get edges, and joining every created future
+//     at a sync of its creating future. A strand u reaches v in PSP(D)
+//     (written u ↠ v) iff u precedes v in both lists.
+//  2. cp(G): per future task G, the bitmap of G's ancestor future IDs.
+//  3. gp(v): per strand v, the bitmap of future IDs F whose last strand
+//     reaches v through a non-SP path. gp bitmaps are shared between
+//     strands copy-on-write and merged only when both sides own bits the
+//     other lacks (§3.4), which happens O(k) times for k futures.
+//
+// A query Precedes(u ∈ F, v ∈ G) then follows Algorithm 1:
+//
+//	F == G:               u ↠ v
+//	F ∈ cp(G) and u ↠ v:  true
+//	F ∈ gp(v):            true
+//	otherwise:            false
+//
+// The implementation mirrors the paper's engineering choices (§4): cp and
+// gp are arrays of 64-bit words indexed by future ID rather than hash
+// tables, which is both the asymptotic win over F-Order's per-node hash
+// tables and the practical memory win measured in Figure 5.
+package core
+
+import (
+	"sync/atomic"
+
+	"sforder/internal/bitset"
+	"sforder/internal/om"
+	"sforder/internal/sched"
+)
+
+// node is the SF-Order per-strand state.
+type node struct {
+	eng, heb *om.Item    // position in the two PSP(D) orders
+	gp       *bitset.Set // future IDs F with last(F) ⇝NSP here (shared)
+}
+
+// futMeta is the SF-Order per-future state.
+type futMeta struct {
+	cp *bitset.Set // ancestor future IDs (immutable once built)
+}
+
+// Reach is the SF-Order reachability component. It implements
+// sched.Tracer to maintain its structures online and serves Precedes
+// queries from any worker concurrently.
+type Reach struct {
+	engL, hebL *om.List
+
+	queries  atomic.Uint64 // Precedes calls (Figure 3 "queries")
+	gpMerges atomic.Uint64 // gp allocations from divergent merges
+	strands  atomic.Uint64
+
+	// alwaysMerge disables the §3.4 subsumption optimization: every
+	// multi-parent strand allocates a fresh gp union. Used only by the
+	// ABL2 ablation benchmark.
+	alwaysMerge bool
+
+	// setMem tracks bytes allocated for gp/cp bitmaps (each allocation
+	// recorded once; sets are immutable afterwards).
+	setMem atomic.Int64
+}
+
+// NewReach returns an empty SF-Order reachability component, ready to be
+// passed as the Tracer of a sched.Run.
+func NewReach() *Reach {
+	return &Reach{engL: om.NewList(), hebL: om.NewList()}
+}
+
+// NewReachAlwaysMerge returns a Reach with the copy-on-write gp merge
+// optimization disabled, for the ablation study.
+func NewReachAlwaysMerge() *Reach {
+	r := NewReach()
+	r.alwaysMerge = true
+	return r
+}
+
+func nodeOf(s *sched.Strand) *node { return s.Det.(*node) }
+func metaOf(f *sched.FutureTask) *futMeta {
+	return f.Det.(*futMeta)
+}
+
+func (r *Reach) trackSet(s *bitset.Set) *bitset.Set {
+	if s != nil {
+		r.setMem.Add(int64(s.MemBytes()))
+	}
+	return s
+}
+
+// OnRoot implements sched.Tracer.
+func (r *Reach) OnRoot(root *sched.Strand) {
+	r.strands.Add(1)
+	root.Det = &node{eng: r.engL.InsertFirst(), heb: r.hebL.InsertFirst()}
+	root.Fut.Det = &futMeta{cp: nil} // the root has no ancestors
+}
+
+// placeBranch inserts the strands of a spawn/create event into both
+// order-maintenance lists: English order u, child, cont[, placeholder];
+// Hebrew order u, cont, child[, placeholder]. The eager placeholder
+// placement is what lets every later strand of the child's subdag land
+// inside the correct interval (§3.4 / WSP-Order).
+func (r *Reach) placeBranch(u, child, cont, placeholder *sched.Strand) {
+	un := nodeOf(u)
+	n := 2
+	if placeholder != nil {
+		n = 3
+	}
+	r.strands.Add(uint64(n))
+	eng := r.engL.InsertAfterN(un.eng, n)
+	heb := r.hebL.InsertAfterN(un.heb, n)
+
+	cn := &node{eng: eng[0], heb: heb[1], gp: un.gp}
+	kn := &node{eng: eng[1], heb: heb[0], gp: un.gp}
+	child.Det = cn
+	cont.Det = kn
+	if placeholder != nil {
+		placeholder.Det = &node{eng: eng[2], heb: heb[2]}
+	}
+}
+
+// OnSpawn implements sched.Tracer.
+func (r *Reach) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	r.placeBranch(u, child, cont, placeholder)
+}
+
+// OnCreate implements sched.Tracer. Besides the PSP placement (create is
+// a spawn in PSP(D)), it builds cp(G) = cp(F) ∪ {F} for the new future.
+func (r *Reach) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	r.placeBranch(u, first, cont, placeholder)
+	parent := metaOf(f.Parent)
+	cp := parent.cp.Clone()
+	cp.Add(f.Parent.ID)
+	f.Det = &futMeta{cp: r.trackSet(cp)}
+}
+
+// OnSync implements sched.Tracer: the sync strand s (pre-placed in the
+// OM lists) receives the merged gp of its real-dag predecessors — the
+// continuation k and the joined spawned children's sinks.
+func (r *Reach) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+	sn := nodeOf(s)
+	acc := nodeOf(k).gp
+	for _, c := range childSinks {
+		acc = r.mergeGP(acc, nodeOf(c).gp)
+	}
+	sn.gp = acc
+}
+
+func (r *Reach) mergeGP(a, b *bitset.Set) *bitset.Set {
+	if r.alwaysMerge {
+		if a == nil && b == nil {
+			return nil
+		}
+		r.gpMerges.Add(1)
+		return r.trackSet(bitset.Union(a, b))
+	}
+	m, allocated := bitset.MergeShared(a, b)
+	if allocated {
+		r.gpMerges.Add(1)
+		r.trackSet(m)
+	}
+	return m
+}
+
+// OnReturn implements sched.Tracer (no SF-Order work: the join happens
+// at OnSync).
+func (r *Reach) OnReturn(sink *sched.Strand) {}
+
+// OnPut implements sched.Tracer (no SF-Order work: last(F) is recorded
+// by the engine and consulted at OnGet).
+func (r *Reach) OnPut(sink *sched.Strand, f *sched.FutureTask) {}
+
+// OnGet implements sched.Tracer: the get strand g is a plain serial
+// successor of u in PSP(D) (get edges are dropped), and
+// gp(g) = gp(u) ∪ gp(last(F)) ∪ {F}.
+func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	un := nodeOf(u)
+	r.strands.Add(1)
+	gn := &node{eng: r.engL.InsertAfter(un.eng), heb: r.hebL.InsertAfter(un.heb)}
+	last := nodeOf(f.Last())
+	gp := bitset.Union(un.gp, last.gp)
+	gp.Add(f.ID)
+	r.gpMerges.Add(1)
+	gn.gp = r.trackSet(gp)
+	g.Det = gn
+}
+
+// psp reports u ↠ v: u reaches v in the pseudo-SP-dag, i.e. u precedes v
+// in both the English and the Hebrew order.
+func (r *Reach) psp(a, b *node) bool {
+	return r.engL.Precedes(a.eng, b.eng) && r.hebL.Precedes(a.heb, b.heb)
+}
+
+// Precedes reports whether strand u logically precedes strand v in the
+// SF-dag (Algorithm 1). It must only be asked with u already executed
+// (recorded in an access history) and v currently executing, the
+// invariant every on-the-fly detector maintains. u == v returns true:
+// accesses of one strand are serially ordered.
+func (r *Reach) Precedes(u, v *sched.Strand) bool {
+	r.queries.Add(1)
+	if u == v {
+		return true
+	}
+	un, vn := nodeOf(u), nodeOf(v)
+	if u.Fut == v.Fut {
+		// Case 1: same future — an SP path must exist (Lemma 3.3), and
+		// PSP(D) captures it exactly (Lemma 3.7).
+		return r.psp(un, vn)
+	}
+	// Case 2: u's future is a strict ancestor of v's — PSP(D) answers
+	// exactly (Lemmas 3.8, 3.9).
+	if metaOf(v.Fut).cp.Contains(u.Fut.ID) && r.psp(un, vn) {
+		return true
+	}
+	// Case 3: otherwise u ≺ v iff last(F) ⇝ v (Lemma 3.4), which is
+	// precisely gp(v) membership.
+	return vn.gp.Contains(u.Fut.ID)
+}
+
+// LeftOf reports whether a is to the left of b — earlier in the English
+// order — used by the access history to maintain leftmost/rightmost
+// readers within one future (§3.5).
+func (r *Reach) LeftOf(a, b *sched.Strand) bool {
+	return r.engL.Precedes(nodeOf(a).eng, nodeOf(b).eng)
+}
+
+// Queries returns the number of Precedes calls served.
+func (r *Reach) Queries() uint64 { return r.queries.Load() }
+
+// GPMerges returns how many gp/get merges allocated a fresh bitmap; the
+// §3.4 argument bounds this by O(k).
+func (r *Reach) GPMerges() uint64 { return r.gpMerges.Load() }
+
+// MemBytes estimates the memory footprint of the reachability component:
+// both OM lists, the per-strand node records, and all gp/cp bitmaps
+// (Figure 5).
+func (r *Reach) MemBytes() int {
+	const nodeSize = 40
+	return r.engL.MemBytes() + r.hebL.MemBytes() +
+		int(r.strands.Load())*nodeSize + int(r.setMem.Load())
+}
+
+var _ sched.Tracer = (*Reach)(nil)

@@ -1,0 +1,53 @@
+package dag
+
+import "sforder/internal/bitset"
+
+// Closure is a precomputed transitive closure of a Graph, used as the
+// exhaustive reachability oracle when cross-validating the constant-time
+// detectors on recorded dags. Building it costs O(V·E/64) time and
+// O(V²/64) space, fine for test-sized dags.
+type Closure struct {
+	idx  map[*Node]int
+	sets []*bitset.Set // sets[i] = indices reachable from node i (strict)
+}
+
+// NewClosure computes the closure of g. The graph must be acyclic and
+// must not be mutated afterwards.
+func NewClosure(g *Graph) *Closure {
+	order, err := g.Topological()
+	if err != nil {
+		panic("dag: NewClosure on cyclic graph: " + err.Error())
+	}
+	c := &Closure{idx: make(map[*Node]int, len(order))}
+	for i, n := range order {
+		c.idx[n] = i
+	}
+	c.sets = make([]*bitset.Set, len(order))
+	// Accumulate in reverse topological order: reach(u) = ∪ succ v of
+	// ({v} ∪ reach(v)).
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		s := bitset.New(len(order))
+		for _, e := range n.Out {
+			j := c.idx[e.To]
+			s.Add(j)
+			s.UnionWith(c.sets[j])
+		}
+		c.sets[i] = s
+	}
+	return c
+}
+
+// Reachable reports whether a directed path leads from u to v (strict:
+// Reachable(u, u) is false).
+func (c *Closure) Reachable(u, v *Node) bool {
+	iu, ok := c.idx[u]
+	if !ok {
+		panic("dag: node not in closure: " + u.String())
+	}
+	iv, ok := c.idx[v]
+	if !ok {
+		panic("dag: node not in closure: " + v.String())
+	}
+	return c.sets[iu].Contains(iv)
+}

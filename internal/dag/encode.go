@@ -1,0 +1,138 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire format is a flat JSON document: nodes in ID order, edges in
+// insertion order, futures in ID order. It exists so fuzz failures and
+// interesting executions can be saved, inspected, and replayed by the
+// oracle without re-running the program (sfgen -save / -load).
+
+type wireGraph struct {
+	Nodes   []wireNode   `json:"nodes"`
+	Edges   []wireEdge   `json:"edges"`
+	Futures []wireFuture `json:"futures"`
+}
+
+type wireNode struct {
+	ID     int    `json:"id"`
+	Future int    `json:"future"`
+	Label  string `json:"label,omitempty"`
+}
+
+type wireEdge struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Kind string `json:"kind"`
+}
+
+type wireFuture struct {
+	ID     int `json:"id"`
+	Parent int `json:"parent"`
+	First  int `json:"first"`
+	Last   int `json:"last"` // -1 when not completed
+	Got    int `json:"got"`  // -1 when never gotten
+}
+
+func nodeID(n *Node) int {
+	if n == nil {
+		return -1
+	}
+	return n.ID
+}
+
+// Encode serializes the graph as JSON.
+func (g *Graph) Encode(w io.Writer) error {
+	g.mu.Lock()
+	wire := wireGraph{}
+	for _, n := range g.nodes {
+		wire.Nodes = append(wire.Nodes, wireNode{ID: n.ID, Future: n.Future, Label: n.Label})
+	}
+	for _, n := range g.nodes {
+		for _, e := range n.Out {
+			wire.Edges = append(wire.Edges, wireEdge{From: e.From.ID, To: e.To.ID, Kind: e.Kind.String()})
+		}
+	}
+	for _, f := range g.futures {
+		if f == nil {
+			g.mu.Unlock()
+			return fmt.Errorf("dag: future table has a hole; graph incomplete")
+		}
+		wire.Futures = append(wire.Futures, wireFuture{
+			ID:     f.ID,
+			Parent: f.Parent,
+			First:  nodeID(f.First),
+			Last:   nodeID(f.Last),
+			Got:    nodeID(f.Got),
+		})
+	}
+	g.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wire)
+}
+
+func kindFromString(s string) (EdgeKind, error) {
+	for _, k := range []EdgeKind{Continue, Spawn, SyncJoin, Create, Get} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dag: unknown edge kind %q", s)
+}
+
+// Decode reconstructs a graph from Encode's output. The decoded graph
+// supports every query (reachability, validation, serial order, DOT)
+// but carries no detector or recorder payloads.
+func Decode(r io.Reader) (*Graph, error) {
+	var wire wireGraph
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("dag: decode: %w", err)
+	}
+	g := New()
+	byID := map[int]*Node{}
+	// Futures first so node creation can attribute First correctly.
+	for _, f := range wire.Futures {
+		if f.ID == 0 {
+			continue // the root future exists already
+		}
+		g.EnsureFuture(f.ID, f.Parent)
+	}
+	for i, n := range wire.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("dag: decode: node IDs must be dense and ordered (got %d at %d)", n.ID, i)
+		}
+		if n.Future < 0 || n.Future >= len(g.futures) {
+			return nil, fmt.Errorf("dag: decode: node %d has unknown future %d", n.ID, n.Future)
+		}
+		byID[n.ID] = g.NewNode(n.Future, n.Label)
+	}
+	for _, e := range wire.Edges {
+		from, to := byID[e.From], byID[e.To]
+		if from == nil || to == nil {
+			return nil, fmt.Errorf("dag: decode: edge %d->%d references unknown node", e.From, e.To)
+		}
+		kind, err := kindFromString(e.Kind)
+		if err != nil {
+			return nil, err
+		}
+		g.AddEdge(from, to, kind)
+	}
+	for _, f := range wire.Futures {
+		if f.First >= 0 {
+			if got := g.futures[f.ID].First; got != byID[f.First] {
+				return nil, fmt.Errorf("dag: decode: future %d first node mismatch", f.ID)
+			}
+		}
+		if f.Last >= 0 {
+			g.SetLast(f.ID, byID[f.Last])
+		}
+		if f.Got >= 0 {
+			g.SetGot(f.ID, byID[f.Got])
+		}
+	}
+	return g, nil
+}

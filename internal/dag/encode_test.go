@@ -1,0 +1,101 @@
+package dag_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sforder/internal/dag"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// TestEncodeDecodeRoundTrip: recorded dags survive serialization with
+// identical structure, metadata, and reachability.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 7})
+		rec := dag.NewRecorder()
+		if _, err := sched.Run(sched.Options{Serial: true, Tracer: rec}, p.Main()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rec.G.Encode(&buf); err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		g2, err := dag.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if g2.NumNodes() != rec.G.NumNodes() || g2.NumFutures() != rec.G.NumFutures() {
+			t.Fatalf("seed %d: size mismatch", seed)
+		}
+		if err := g2.Validate(); err != nil {
+			t.Fatalf("seed %d: decoded graph invalid: %v", seed, err)
+		}
+		// Reachability must be preserved node-for-node (IDs align).
+		n1, n2 := rec.G.Nodes(), g2.Nodes()
+		cl1, cl2 := dag.NewClosure(rec.G), dag.NewClosure(g2)
+		for i := range n1 {
+			for j := range n1 {
+				if i == j {
+					continue
+				}
+				if cl1.Reachable(n1[i], n1[j]) != cl2.Reachable(n2[i], n2[j]) {
+					t.Fatalf("seed %d: reachability differs at (%d,%d)", seed, i, j)
+				}
+			}
+		}
+		// Work/span and serial order length are structure functions.
+		w1, s1 := rec.G.WorkSpan()
+		w2, s2 := g2.WorkSpan()
+		if w1 != w2 || s1 != s2 {
+			t.Fatalf("seed %d: work/span %d/%d vs %d/%d", seed, w1, w2, s1, s2)
+		}
+	}
+}
+
+func TestEncodePreservesFutureMetadata(t *testing.T) {
+	rec := dag.NewRecorder()
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: rec}, func(t *sched.Task) {
+		h := t.Create(func(*sched.Task) any { return nil })
+		t.Create(func(*sched.Task) any { return nil }) // never gotten
+		t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.G.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := dag.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	futs := g2.Futures()
+	if futs[1].Got == nil {
+		t.Error("gotten future lost its Got node")
+	}
+	if futs[2].Got != nil {
+		t.Error("ungotten future acquired a Got node")
+	}
+	if futs[1].Last == nil || futs[2].Last == nil {
+		t.Error("future Last nodes lost")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"nodes":[{"id":5,"future":0}],"edges":[],"futures":[]}`,                                                    // non-dense IDs
+		`{"nodes":[{"id":0,"future":3}],"edges":[],"futures":[]}`,                                                    // unknown future
+		`{"nodes":[{"id":0,"future":0}],"edges":[{"from":0,"to":9,"kind":"continue"}],"futures":[]}`,                 // dangling edge
+		`{"nodes":[{"id":0,"future":0},{"id":1,"future":0}],"edges":[{"from":0,"to":1,"kind":"warp"}],"futures":[]}`, // bad kind
+	}
+	for i, c := range cases {
+		if _, err := dag.Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

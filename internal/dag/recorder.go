@@ -1,0 +1,110 @@
+package dag
+
+import (
+	"fmt"
+	"sync"
+
+	"sforder/internal/sched"
+)
+
+// Recorder is a sched.Tracer that materializes the executed computation
+// dag as a Graph. It is used by tests (to cross-validate the constant
+// time detectors against exhaustive reachability) and by the sfgen tool;
+// production detection never records the full dag.
+type Recorder struct {
+	G *Graph
+
+	mu      sync.Mutex
+	strands []*sched.Strand
+}
+
+// NewRecorder returns a recorder with an empty graph.
+func NewRecorder() *Recorder { return &Recorder{G: New()} }
+
+// Strands returns every strand observed, in recording order.
+func (r *Recorder) Strands() []*sched.Strand {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*sched.Strand(nil), r.strands...)
+}
+
+// NodeOf returns the graph node recorded for a strand.
+func (r *Recorder) NodeOf(s *sched.Strand) *Node {
+	n, ok := s.Rec.(*Node)
+	if !ok {
+		panic(fmt.Sprintf("dag: strand %v has no recorded node", s))
+	}
+	return n
+}
+
+func (r *Recorder) newNode(s *sched.Strand, label string) *Node {
+	n := r.G.NewNode(s.Fut.ID, label)
+	s.Rec = n
+	r.mu.Lock()
+	r.strands = append(r.strands, s)
+	r.mu.Unlock()
+	return n
+}
+
+// OnRoot implements sched.Tracer.
+func (r *Recorder) OnRoot(root *sched.Strand) {
+	r.newNode(root, "root")
+}
+
+// OnSpawn implements sched.Tracer.
+func (r *Recorder) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	un := r.NodeOf(u)
+	cn := r.newNode(child, "child")
+	kn := r.newNode(cont, "cont")
+	r.G.AddEdge(un, cn, Spawn)
+	r.G.AddEdge(un, kn, Continue)
+	if placeholder != nil {
+		r.newNode(placeholder, "sync")
+	}
+}
+
+// OnCreate implements sched.Tracer.
+func (r *Recorder) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	parent := 0
+	if f.Parent != nil {
+		parent = f.Parent.ID
+	}
+	r.G.EnsureFuture(f.ID, parent)
+	un := r.NodeOf(u)
+	fn := r.newNode(first, "first")
+	kn := r.newNode(cont, "cont")
+	r.G.AddEdge(un, fn, Create)
+	r.G.AddEdge(un, kn, Continue)
+	if placeholder != nil {
+		r.newNode(placeholder, "sync")
+	}
+}
+
+// OnSync implements sched.Tracer.
+func (r *Recorder) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+	sn := r.NodeOf(s)
+	r.G.AddEdge(r.NodeOf(k), sn, Continue)
+	for _, c := range childSinks {
+		r.G.AddEdge(r.NodeOf(c), sn, SyncJoin)
+	}
+}
+
+// OnReturn implements sched.Tracer.
+func (r *Recorder) OnReturn(sink *sched.Strand) {}
+
+// OnPut implements sched.Tracer.
+func (r *Recorder) OnPut(sink *sched.Strand, f *sched.FutureTask) {
+	r.G.SetLast(f.ID, r.NodeOf(sink))
+}
+
+// OnGet implements sched.Tracer.
+func (r *Recorder) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	un := r.NodeOf(u)
+	gn := r.newNode(g, "get")
+	r.G.AddEdge(un, gn, Continue)
+	last := f.Last()
+	r.G.AddEdge(r.NodeOf(last), gn, Get)
+	r.G.SetGot(f.ID, gn)
+}
+
+var _ sched.Tracer = (*Recorder)(nil)

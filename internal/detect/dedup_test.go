@@ -1,0 +1,40 @@
+package detect_test
+
+import (
+	"testing"
+
+	"sforder/internal/detect"
+)
+
+func TestDedupByAddrRetainsOnePerLocation(t *testing.T) {
+	ss := fakeStrands(10)
+	h := detect.NewHistory(detect.Options{
+		Reach:       &stubReach{prec: map[[2]uint64]bool{}},
+		DedupByAddr: true,
+	})
+	for _, s := range ss {
+		h.Write(s, 1)
+		h.Write(s, 2)
+	}
+	if got := len(h.Races()); got != 2 {
+		t.Errorf("retained %d races, want 2 (one per address)", got)
+	}
+	if h.RaceCount() != 18 {
+		t.Errorf("RaceCount = %d, want 18 (9 per address)", h.RaceCount())
+	}
+	addrs := h.RacyAddrs()
+	if len(addrs) != 2 || addrs[0] != 1 || addrs[1] != 2 {
+		t.Errorf("RacyAddrs = %v", addrs)
+	}
+}
+
+func TestNoDedupRetainsAll(t *testing.T) {
+	ss := fakeStrands(5)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	for _, s := range ss {
+		h.Write(s, 1)
+	}
+	if got := len(h.Races()); got != 4 {
+		t.Errorf("retained %d races, want 4", got)
+	}
+}

@@ -1,0 +1,415 @@
+// Package detect provides the access-history component shared by the
+// race detectors: a sharded shadow-memory table remembering, per memory
+// location, the last writer and a set of previous readers, plus the race
+// reporting machinery.
+//
+// A detector is assembled from a reachability component (SF-Order,
+// F-Order, or MultiBags — anything implementing Reachability) and a
+// History configured with a reader-retention policy:
+//
+//   - ReadersAll keeps every reader between two writes (up to r per
+//     location) — what F-Order requires for general futures and what the
+//     paper's SF-Order implementation also ships (§4).
+//   - ReadersLR keeps only the leftmost and rightmost reader per
+//     (location, future) pair — at most 2k readers per location — which
+//     §3.5 proves sufficient for structured futures (Lemmas 3.10, 3.11).
+//
+// As in the paper's implementation, every access locks the shard of the
+// access history covering its location (fine-grained locking); the sheer
+// volume of lock operations, not contention, dominates "full" overhead.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sforder/internal/sched"
+)
+
+// Reachability answers on-the-fly precedence queries: u must be an
+// already-executed strand recorded in the access history and v the
+// currently executing strand.
+type Reachability interface {
+	Precedes(u, v *sched.Strand) bool
+}
+
+// ReaderPolicy selects how many previous readers the history retains.
+type ReaderPolicy int
+
+const (
+	// ReadersAll retains every reader between consecutive writes.
+	ReadersAll ReaderPolicy = iota
+	// ReadersLR retains the leftmost and rightmost reader per
+	// (location, future) pair — the 2k bound of §3.5. Requires LeftOf.
+	ReadersLR
+)
+
+func (p ReaderPolicy) String() string {
+	switch p {
+	case ReadersAll:
+		return "all"
+	case ReadersLR:
+		return "lr"
+	default:
+		return fmt.Sprintf("ReaderPolicy(%d)", int(p))
+	}
+}
+
+// AccessKind tags the two sides of a reported race.
+type AccessKind uint8
+
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+func (k AccessKind) String() string {
+	if k == AccessRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Race describes one determinacy race: two logically parallel accesses
+// to the same location, at least one a write.
+type Race struct {
+	Addr       uint64
+	PrevStrand uint64 // strand ID of the earlier (recorded) access
+	CurStrand  uint64 // strand ID of the access that exposed the race
+	PrevFuture int
+	CurFuture  int
+	Prev, Cur  AccessKind
+	// PrevLabel and CurLabel carry the user labels (Task.Label) of the
+	// racing strands' regions, when set.
+	PrevLabel, CurLabel string
+}
+
+func (r Race) String() string {
+	side := func(kind AccessKind, strand uint64, fut int, label string) string {
+		s := fmt.Sprintf("%s by s%d/f%d", kind, strand, fut)
+		if label != "" {
+			s += fmt.Sprintf(" (%q)", label)
+		}
+		return s
+	}
+	return fmt.Sprintf("race on %#x: %s vs %s", r.Addr,
+		side(r.Prev, r.PrevStrand, r.PrevFuture, r.PrevLabel),
+		side(r.Cur, r.CurStrand, r.CurFuture, r.CurLabel))
+}
+
+// Options configures a History.
+type Options struct {
+	// Reach answers precedence queries. Required.
+	Reach Reachability
+	// Policy selects reader retention; ReadersLR additionally requires
+	// LeftOf.
+	Policy ReaderPolicy
+	// LeftOf reports whether strand a is left of strand b (earlier in
+	// the English order) among logically parallel strands of one future.
+	LeftOf func(a, b *sched.Strand) bool
+	// MaxRaces caps the number of detailed Race records retained
+	// (counting continues past the cap). 0 means 256.
+	MaxRaces int
+	// Shards is the number of lock shards for BackendShardedMap;
+	// 0 means 256 (rounded up to a power of two).
+	Shards int
+	// Backend selects the shadow-table layout.
+	Backend Backend
+	// DedupByAddr reports at most one race per memory location: after
+	// the first report on an address, later races there are counted
+	// in RaceCount but not retained as detailed records. Keeps reports
+	// readable on programs with systematic races (e.g. a racy loop).
+	DedupByAddr bool
+}
+
+// Backend selects the shadow-memory storage layout.
+type Backend int
+
+const (
+	// BackendShardedMap (default) is a power-of-two array of
+	// mutex-protected Go maps.
+	BackendShardedMap Backend = iota
+	// BackendTwoLevel is the paper's layout (§4): a two-level table
+	// acting like a direct-mapped cache — a directory of contiguous
+	// pages, with one lock per page (the paper's "each lock represents
+	// a subset of the access history" fine-grained locking).
+	BackendTwoLevel
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendShardedMap:
+		return "sharded-map"
+	case BackendTwoLevel:
+		return "two-level"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+type lrPair struct {
+	l, r *sched.Strand
+}
+
+// loc is the access-history metadata of one memory location.
+type loc struct {
+	lastWriter *sched.Strand
+	readers    []*sched.Strand // ReadersAll
+	pairs      map[int]*lrPair // ReadersLR, keyed by future ID
+}
+
+// addrTable is the storage backend of the access history: it maps a
+// shadow address to its location metadata under a fine-grained lock.
+type addrTable interface {
+	// acquire returns addr's metadata with its covering lock held;
+	// release must be called when done.
+	acquire(addr uint64) (l *loc, release func())
+	// forEach visits every populated location (taking locks itself);
+	// used by the accounting methods, not the hot path.
+	forEach(fn func(*loc))
+	// memBytes estimates the backend's heap footprint.
+	memBytes() int
+}
+
+// shardedTable is the default backend: a power-of-two array of mutex-
+// protected Go maps.
+type shardedTable struct {
+	shards []*shard
+	mask   uint64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]*loc
+}
+
+func newShardedTable(n int) *shardedTable {
+	if n == 0 {
+		n = 256
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	t := &shardedTable{mask: uint64(p - 1)}
+	for i := 0; i < p; i++ {
+		t.shards = append(t.shards, &shard{m: map[uint64]*loc{}})
+	}
+	return t
+}
+
+func (t *shardedTable) acquire(addr uint64) (*loc, func()) {
+	// Fibonacci hashing spreads dense addresses across shards.
+	sh := t.shards[(addr*0x9e3779b97f4a7c15)>>32&t.mask]
+	sh.mu.Lock()
+	l := sh.m[addr]
+	if l == nil {
+		l = &loc{}
+		sh.m[addr] = l
+	}
+	return l, sh.mu.Unlock
+}
+
+func (t *shardedTable) forEach(fn func(*loc)) {
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, l := range sh.m {
+			fn(l)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (t *shardedTable) memBytes() int {
+	const locSize, entryOverhead, pairSize = 56, 48, 24
+	total := 0
+	t.forEach(func(l *loc) {
+		total += locSize + entryOverhead + 8*cap(l.readers) + pairSize*len(l.pairs)
+	})
+	return total
+}
+
+// History is the access-history component: it implements
+// sched.AccessChecker and reports every determinacy race it observes.
+type History struct {
+	opts Options
+	tbl  addrTable
+
+	raceCount atomic.Uint64
+	raceMu    sync.Mutex
+	races     []Race
+	racyAddrs map[uint64]bool
+}
+
+// NewHistory returns an empty access history.
+func NewHistory(opts Options) *History {
+	if opts.Reach == nil {
+		panic("detect: Options.Reach is required")
+	}
+	if opts.Policy == ReadersLR && opts.LeftOf == nil {
+		panic("detect: ReadersLR requires Options.LeftOf")
+	}
+	if opts.MaxRaces == 0 {
+		opts.MaxRaces = 256
+	}
+	h := &History{opts: opts, racyAddrs: map[uint64]bool{}}
+	switch opts.Backend {
+	case BackendShardedMap:
+		h.tbl = newShardedTable(opts.Shards)
+	case BackendTwoLevel:
+		h.tbl = newTwoLevelTable()
+	default:
+		panic(fmt.Sprintf("detect: unknown backend %v", opts.Backend))
+	}
+	return h
+}
+
+func (h *History) report(addr uint64, prev *sched.Strand, prevKind AccessKind, cur *sched.Strand, curKind AccessKind) {
+	h.raceCount.Add(1)
+	h.raceMu.Lock()
+	defer h.raceMu.Unlock()
+	if h.opts.DedupByAddr && h.racyAddrs[addr] {
+		return
+	}
+	h.racyAddrs[addr] = true
+	if len(h.races) < h.opts.MaxRaces {
+		h.races = append(h.races, Race{
+			Addr:       addr,
+			PrevStrand: prev.ID,
+			CurStrand:  cur.ID,
+			PrevFuture: prev.Fut.ID,
+			CurFuture:  cur.Fut.ID,
+			Prev:       prevKind,
+			Cur:        curKind,
+			PrevLabel:  prev.Label(),
+			CurLabel:   cur.Label(),
+		})
+	}
+}
+
+// Read implements sched.AccessChecker: check against the last writer,
+// then record the reader per the configured policy.
+func (h *History) Read(s *sched.Strand, addr uint64) {
+	l, release := h.tbl.acquire(addr)
+	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
+		h.report(addr, w, AccessWrite, s, AccessRead)
+	}
+	switch h.opts.Policy {
+	case ReadersAll:
+		// Skip consecutive duplicate readers: a strand reading the same
+		// location repeatedly adds no information.
+		if n := len(l.readers); n == 0 || l.readers[n-1] != s {
+			l.readers = append(l.readers, s)
+		}
+	case ReadersLR:
+		h.updateLR(l, s)
+	}
+	release()
+}
+
+// updateLR maintains the leftmost and rightmost reader of s's future for
+// this location, with the classic replacement rules (Mellor-Crummey):
+// a serially later reader subsumes the stored one; among parallel
+// readers, keep the leftmost (respectively rightmost) in English order.
+func (h *History) updateLR(l *loc, s *sched.Strand) {
+	if l.pairs == nil {
+		l.pairs = map[int]*lrPair{}
+	}
+	p := l.pairs[s.Fut.ID]
+	if p == nil {
+		l.pairs[s.Fut.ID] = &lrPair{l: s, r: s}
+		return
+	}
+	if p.l != s {
+		if h.opts.Reach.Precedes(p.l, s) {
+			p.l = s
+		} else if h.opts.LeftOf(s, p.l) {
+			p.l = s
+		}
+	}
+	if p.r != s {
+		if h.opts.Reach.Precedes(p.r, s) {
+			p.r = s
+		} else if h.opts.LeftOf(p.r, s) {
+			p.r = s
+		}
+	}
+}
+
+// Write implements sched.AccessChecker: check against the last writer
+// and all retained readers, then make s the last writer and clear the
+// readers (they are subsumed: any later access racing a cleared reader
+// also races this write or was already reported — §3.6).
+func (h *History) Write(s *sched.Strand, addr uint64) {
+	l, release := h.tbl.acquire(addr)
+	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
+		h.report(addr, w, AccessWrite, s, AccessWrite)
+	}
+	switch h.opts.Policy {
+	case ReadersAll:
+		for _, r := range l.readers {
+			if r != s && !h.opts.Reach.Precedes(r, s) {
+				h.report(addr, r, AccessRead, s, AccessWrite)
+			}
+		}
+		l.readers = l.readers[:0]
+	case ReadersLR:
+		for _, p := range l.pairs {
+			if p.l != s && !h.opts.Reach.Precedes(p.l, s) {
+				h.report(addr, p.l, AccessRead, s, AccessWrite)
+			}
+			if p.r != p.l && p.r != s && !h.opts.Reach.Precedes(p.r, s) {
+				h.report(addr, p.r, AccessRead, s, AccessWrite)
+			}
+		}
+		l.pairs = nil
+	}
+	l.lastWriter = s
+	release()
+}
+
+// RaceCount returns the total number of races reported (including ones
+// past the detailed-record cap).
+func (h *History) RaceCount() uint64 { return h.raceCount.Load() }
+
+// Races returns the retained detailed race records.
+func (h *History) Races() []Race {
+	h.raceMu.Lock()
+	defer h.raceMu.Unlock()
+	return append([]Race(nil), h.races...)
+}
+
+// RacyAddrs returns the sorted set of addresses on which at least one
+// race was reported — the location-level ground truth the tests compare
+// against the oracle.
+func (h *History) RacyAddrs() []uint64 {
+	h.raceMu.Lock()
+	defer h.raceMu.Unlock()
+	out := make([]uint64, 0, len(h.racyAddrs))
+	for a := range h.racyAddrs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MemBytes estimates the history's heap footprint.
+func (h *History) MemBytes() int { return h.tbl.memBytes() }
+
+// MaxReaders returns the largest retained reader count over all
+// locations right now — used by tests asserting the 2k bound of the
+// ReadersLR policy.
+func (h *History) MaxReaders() int {
+	max := 0
+	h.tbl.forEach(func(l *loc) {
+		n := len(l.readers) + 2*len(l.pairs)
+		if n > max {
+			max = n
+		}
+	})
+	return max
+}
+
+var _ sched.AccessChecker = (*History)(nil)

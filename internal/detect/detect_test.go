@@ -1,0 +1,234 @@
+package detect_test
+
+import (
+	"testing"
+
+	"sforder/internal/detect"
+	"sforder/internal/sched"
+)
+
+// stubReach answers Precedes from an explicit table keyed by strand ID
+// pairs; everything absent is parallel.
+type stubReach struct {
+	prec map[[2]uint64]bool
+}
+
+func (s *stubReach) Precedes(u, v *sched.Strand) bool {
+	if u == v {
+		return true
+	}
+	return s.prec[[2]uint64{u.ID, v.ID}]
+}
+
+// fakeStrands builds standalone strands for unit-testing the history
+// without an engine run.
+func fakeStrands(n int) []*sched.Strand {
+	fut := &sched.FutureTask{ID: 0}
+	out := make([]*sched.Strand, n)
+	for i := range out {
+		out[i] = &sched.Strand{ID: uint64(i), Fut: fut}
+	}
+	return out
+}
+
+func orderAll(ss []*sched.Strand) *stubReach {
+	r := &stubReach{prec: map[[2]uint64]bool{}}
+	for i := range ss {
+		for j := i + 1; j < len(ss); j++ {
+			r.prec[[2]uint64{ss[i].ID, ss[j].ID}] = true
+		}
+	}
+	return r
+}
+
+func TestNoRaceWhenSerial(t *testing.T) {
+	ss := fakeStrands(3)
+	h := detect.NewHistory(detect.Options{Reach: orderAll(ss)})
+	h.Write(ss[0], 1)
+	h.Read(ss[1], 1)
+	h.Write(ss[2], 1)
+	if h.RaceCount() != 0 {
+		t.Fatalf("serial accesses reported %d races", h.RaceCount())
+	}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	h.Write(ss[0], 7)
+	h.Write(ss[1], 7)
+	if h.RaceCount() != 1 {
+		t.Fatalf("RaceCount = %d, want 1", h.RaceCount())
+	}
+	r := h.Races()[0]
+	if r.Prev != detect.AccessWrite || r.Cur != detect.AccessWrite || r.Addr != 7 {
+		t.Errorf("race = %v", r)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	h.Write(ss[0], 3)
+	h.Read(ss[1], 3)
+	if h.RaceCount() != 1 {
+		t.Fatalf("RaceCount = %d, want 1", h.RaceCount())
+	}
+	if h.Races()[0].Cur != detect.AccessRead {
+		t.Error("current side should be the read")
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	h.Read(ss[0], 3)
+	h.Write(ss[1], 3)
+	if h.RaceCount() != 1 {
+		t.Fatalf("RaceCount = %d, want 1", h.RaceCount())
+	}
+}
+
+func TestParallelReadsNoRace(t *testing.T) {
+	ss := fakeStrands(4)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	for _, s := range ss {
+		h.Read(s, 9)
+	}
+	if h.RaceCount() != 0 {
+		t.Fatal("reads never race with reads")
+	}
+}
+
+func TestReadersClearedAtWrite(t *testing.T) {
+	ss := fakeStrands(3)
+	// ss[0] reads; ss[1] writes with ss[0] ≺ ss[1]; ss[2] parallel to
+	// ss[0] but after ss[1]: only the writer matters now.
+	r := &stubReach{prec: map[[2]uint64]bool{
+		{0, 1}: true,
+		{1, 2}: true,
+	}}
+	h := detect.NewHistory(detect.Options{Reach: r})
+	h.Read(ss[0], 5)
+	h.Write(ss[1], 5)
+	h.Write(ss[2], 5)
+	if h.RaceCount() != 0 {
+		t.Fatalf("RaceCount = %d, want 0", h.RaceCount())
+	}
+}
+
+func TestDuplicateReaderSkipped(t *testing.T) {
+	ss := fakeStrands(1)
+	h := detect.NewHistory(detect.Options{Reach: orderAll(ss)})
+	for i := 0; i < 100; i++ {
+		h.Read(ss[0], 2)
+	}
+	if h.MaxReaders() != 1 {
+		t.Errorf("MaxReaders = %d, want 1 (consecutive duplicates skipped)", h.MaxReaders())
+	}
+}
+
+func TestSameStrandNeverRaces(t *testing.T) {
+	ss := fakeStrands(1)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	h.Write(ss[0], 1)
+	h.Write(ss[0], 1)
+	h.Read(ss[0], 1)
+	h.Write(ss[0], 1)
+	if h.RaceCount() != 0 {
+		t.Fatal("a strand cannot race with itself")
+	}
+}
+
+func TestMaxRacesCapKeepsCounting(t *testing.T) {
+	ss := fakeStrands(20)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}, MaxRaces: 4})
+	for _, s := range ss {
+		h.Write(s, 1)
+	}
+	if got := len(h.Races()); got != 4 {
+		t.Errorf("retained %d races, want cap 4", got)
+	}
+	if h.RaceCount() != 19 {
+		t.Errorf("RaceCount = %d, want 19", h.RaceCount())
+	}
+}
+
+func TestRacyAddrsSorted(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{Reach: &stubReach{prec: map[[2]uint64]bool{}}})
+	for _, a := range []uint64{9, 1, 5} {
+		h.Write(ss[0], a)
+		h.Write(ss[1], a)
+	}
+	got := h.RacyAddrs()
+	want := []uint64{1, 5, 9}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("RacyAddrs = %v, want %v", got, want)
+	}
+}
+
+func TestLRPolicyRequiresLeftOf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic: ReadersLR without LeftOf")
+		}
+	}()
+	detect.NewHistory(detect.Options{Reach: &stubReach{}, Policy: detect.ReadersLR})
+}
+
+func TestNilReachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil Reach")
+		}
+	}()
+	detect.NewHistory(detect.Options{})
+}
+
+func TestLRPolicyDetectsViaStoredExtremes(t *testing.T) {
+	// Three parallel readers in one future; a writer parallel to all.
+	// LR keeps only two, but they suffice to flag the race.
+	ss := fakeStrands(4)
+	leftOf := func(a, b *sched.Strand) bool { return a.ID < b.ID }
+	h := detect.NewHistory(detect.Options{
+		Reach:  &stubReach{prec: map[[2]uint64]bool{}},
+		Policy: detect.ReadersLR,
+		LeftOf: leftOf,
+	})
+	h.Read(ss[1], 4)
+	h.Read(ss[0], 4)
+	h.Read(ss[2], 4)
+	if h.MaxReaders() != 2 {
+		t.Errorf("MaxReaders = %d, want 2 under LR policy", h.MaxReaders())
+	}
+	h.Write(ss[3], 4)
+	if h.RaceCount() == 0 {
+		t.Fatal("LR policy missed a reader/writer race")
+	}
+}
+
+func TestMemBytesGrows(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{Reach: orderAll(ss)})
+	before := h.MemBytes()
+	for a := uint64(0); a < 1000; a++ {
+		h.Write(ss[0], a)
+	}
+	if h.MemBytes() <= before {
+		t.Error("MemBytes must grow with the location count")
+	}
+}
+
+func TestPolicyAndKindStrings(t *testing.T) {
+	if detect.ReadersAll.String() != "all" || detect.ReadersLR.String() != "lr" {
+		t.Error("policy strings wrong")
+	}
+	if detect.AccessRead.String() != "read" || detect.AccessWrite.String() != "write" {
+		t.Error("access kind strings wrong")
+	}
+	r := detect.Race{Addr: 1, Prev: detect.AccessWrite, Cur: detect.AccessRead}
+	if r.String() == "" {
+		t.Error("race string empty")
+	}
+}

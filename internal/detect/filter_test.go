@@ -1,0 +1,178 @@
+package detect_test
+
+import (
+	"testing"
+
+	"sforder/internal/core"
+	"sforder/internal/dag"
+	"sforder/internal/detect"
+	"sforder/internal/oracle"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// countingChecker records how many accesses reach it.
+type countingChecker struct {
+	reads, writes int
+}
+
+func (c *countingChecker) Read(*sched.Strand, uint64)  { c.reads++ }
+func (c *countingChecker) Write(*sched.Strand, uint64) { c.writes++ }
+
+func TestFilterDropsStrandDuplicates(t *testing.T) {
+	inner := &countingChecker{}
+	f := detect.NewStrandFilter(inner)
+	s := &sched.Strand{ID: 1, Fut: &sched.FutureTask{}}
+
+	for i := 0; i < 100; i++ {
+		f.Read(s, 7)
+	}
+	if inner.reads != 1 {
+		t.Errorf("inner saw %d reads, want 1", inner.reads)
+	}
+	for i := 0; i < 100; i++ {
+		f.Write(s, 7)
+	}
+	if inner.writes != 1 {
+		t.Errorf("inner saw %d writes, want 1", inner.writes)
+	}
+	// A read after a write to the same address is redundant too.
+	f.Read(s, 7)
+	if inner.reads != 1 {
+		t.Error("read-after-write must be dropped")
+	}
+	if f.Dropped() != 99+99+1 {
+		t.Errorf("Dropped = %d, want 199", f.Dropped())
+	}
+}
+
+func TestFilterWriteAfterReadPasses(t *testing.T) {
+	inner := &countingChecker{}
+	f := detect.NewStrandFilter(inner)
+	s := &sched.Strand{ID: 1, Fut: &sched.FutureTask{}}
+	f.Read(s, 3)
+	f.Write(s, 3) // must pass: it takes over the last-writer slot
+	if inner.writes != 1 {
+		t.Error("write after read must reach the history")
+	}
+}
+
+func TestFilterPerStrandIsolation(t *testing.T) {
+	inner := &countingChecker{}
+	f := detect.NewStrandFilter(inner)
+	fut := &sched.FutureTask{}
+	s1 := &sched.Strand{ID: 1, Fut: fut}
+	s2 := &sched.Strand{ID: 2, Fut: fut}
+	f.Read(s1, 5)
+	f.Read(s2, 5) // different strand: must pass
+	if inner.reads != 2 {
+		t.Errorf("inner saw %d reads, want 2", inner.reads)
+	}
+}
+
+func TestFilterCollisionsAreConservative(t *testing.T) {
+	// Addresses colliding in the direct-mapped cache may evict each
+	// other; the result must only ever be extra passes, never drops of
+	// first-time accesses.
+	inner := &countingChecker{}
+	f := detect.NewStrandFilter(inner)
+	s := &sched.Strand{ID: 1, Fut: &sched.FutureTask{}}
+	distinct := 10_000
+	for a := 0; a < distinct; a++ {
+		f.Read(s, uint64(a))
+	}
+	if inner.reads != distinct {
+		t.Errorf("first-time reads dropped: inner saw %d of %d", inner.reads, distinct)
+	}
+}
+
+// multiChecker fans accesses out.
+type multiChecker []sched.AccessChecker
+
+func (m multiChecker) Read(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Read(s, addr)
+	}
+}
+func (m multiChecker) Write(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Write(s, addr)
+	}
+}
+
+// TestFilteredDetectionMatchesOracle: with the filter in front of the
+// full SF-Order detector, the racy-location set must still match the
+// exhaustive oracle on random programs — the filter's soundness theorem.
+func TestFilteredDetectionMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		reach := core.NewReach()
+		hist := detect.NewHistory(detect.Options{Reach: reach})
+		rec := dag.NewRecorder()
+		log := oracle.NewLogger()
+		_, err := sched.Run(sched.Options{
+			Serial:  true,
+			Tracer:  sched.MultiTracer{reach, rec},
+			Checker: multiChecker{detect.NewStrandFilter(hist), log},
+		}, p.Main())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := hist.RacyAddrs(), log.RacyAddrs(rec)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: filtered detector %v, oracle %v", seed, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: filtered detector %v, oracle %v", seed, got, want)
+			}
+		}
+	}
+}
+
+// TestFilteredAgreesWithUnfiltered compares filtered and unfiltered
+// racy-location sets directly on programs with heavier per-strand
+// access repetition (loops over the same addresses).
+func TestFilteredAgreesWithUnfiltered(t *testing.T) {
+	loopProgram := func(t *sched.Task) {
+		h := t.Create(func(c *sched.Task) any {
+			for i := 0; i < 50; i++ {
+				c.Read(1)
+				c.Write(2)
+			}
+			return nil
+		})
+		for i := 0; i < 50; i++ {
+			t.Write(1) // races with the future's reads
+			t.Read(3)
+		}
+		t.Get(h)
+		for i := 0; i < 10; i++ {
+			t.Read(2) // ordered after the future's writes
+		}
+	}
+	run := func(filtered bool) []uint64 {
+		reach := core.NewReach()
+		hist := detect.NewHistory(detect.Options{Reach: reach})
+		var checker sched.AccessChecker = hist
+		if filtered {
+			checker = detect.NewStrandFilter(hist)
+		}
+		if _, err := sched.Run(sched.Options{Serial: true, Tracer: reach, Checker: checker}, loopProgram); err != nil {
+			t.Fatal(err)
+		}
+		return hist.RacyAddrs()
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("unfiltered %v vs filtered %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unfiltered %v vs filtered %v", a, b)
+		}
+	}
+	if len(a) != 1 || a[0] != 1 {
+		t.Fatalf("expected exactly address 1 racy, got %v", a)
+	}
+}

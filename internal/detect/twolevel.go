@@ -1,0 +1,106 @@
+package detect
+
+import "sync"
+
+// twoLevelTable is the paper's access-history layout (§4): a two-level
+// table that acts like a direct-mapped cache. The first level is a
+// fixed-size directory indexed by a hash of the page number; the second
+// level is a contiguous page of location slots indexed directly by the
+// address's low bits. Each page carries one lock, so a lock covers a
+// contiguous subset of the history — the paper's fine-grained-locking
+// granularity. Directory collisions chain pages (the paper can evict
+// like a real cache; a race detector that must not miss races cannot,
+// so we chain).
+const (
+	dirBits  = 12 // 4096 directory slots
+	pageBits = 8  // 256 locations per page
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page struct {
+	mu    sync.Mutex
+	num   uint64 // addr >> pageBits
+	slots [pageSize]*loc
+	next  *page // directory-collision chain
+}
+
+type twoLevelTable struct {
+	mu  sync.Mutex // guards directory updates (page insertion only)
+	dir [1 << dirBits]*page
+}
+
+func newTwoLevelTable() *twoLevelTable { return &twoLevelTable{} }
+
+func dirSlot(pageNum uint64) int {
+	return int((pageNum * 0x9e3779b97f4a7c15) >> (64 - dirBits))
+}
+
+// pageOf finds or creates the page covering addr.
+func (t *twoLevelTable) pageOf(addr uint64) *page {
+	num := addr >> pageBits
+	slot := dirSlot(num)
+	t.mu.Lock()
+	p := t.dir[slot]
+	for p != nil && p.num != num {
+		p = p.next
+	}
+	if p == nil {
+		p = &page{num: num, next: t.dir[slot]}
+		t.dir[slot] = p
+	}
+	t.mu.Unlock()
+	return p
+}
+
+func (t *twoLevelTable) acquire(addr uint64) (*loc, func()) {
+	p := t.pageOf(addr)
+	p.mu.Lock()
+	i := int(addr & pageMask)
+	l := p.slots[i]
+	if l == nil {
+		l = &loc{}
+		p.slots[i] = l
+	}
+	return l, p.mu.Unlock
+}
+
+func (t *twoLevelTable) forEach(fn func(*loc)) {
+	t.mu.Lock()
+	var pages []*page
+	for _, p := range t.dir {
+		for ; p != nil; p = p.next {
+			pages = append(pages, p)
+		}
+	}
+	t.mu.Unlock()
+	for _, p := range pages {
+		p.mu.Lock()
+		for _, l := range p.slots {
+			if l != nil {
+				fn(l)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (t *twoLevelTable) memBytes() int {
+	const locSize, pairSize = 56, 24
+	const pageOverhead = 8 + 8 + 8 + pageSize*8 // mu+num+next+slot array
+	total := (1 << dirBits) * 8
+	t.forEach(func(l *loc) {
+		total += locSize + 8*cap(l.readers) + pairSize*len(l.pairs)
+	})
+	t.mu.Lock()
+	for _, p := range t.dir {
+		for ; p != nil; p = p.next {
+			total += pageOverhead
+		}
+	}
+	t.mu.Unlock()
+	return total
+}
+
+var _ addrTable = (*twoLevelTable)(nil)
+var _ addrTable = (*shardedTable)(nil)

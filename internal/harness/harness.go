@@ -1,0 +1,219 @@
+// Package harness assembles detectors, runs the paper's benchmarks under
+// the paper's configurations, and regenerates its evaluation artifacts:
+//
+//   - Figure 3: benchmark execution characteristics (reads, writes,
+//     reachability queries, futures, dag nodes);
+//   - Figure 4: base/reach/full execution times for MultiBags, F-Order
+//     and SF-Order at one worker and at P workers, with overhead and
+//     scalability annotations;
+//   - Figure 5: reachability-maintenance memory, F-Order vs SF-Order.
+//
+// The harness measures wall-clock time per configuration; the benchmark
+// package's Verify hook runs after every measurement so a silently
+// broken run can never produce a table row.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/forder"
+	"sforder/internal/multibags"
+	"sforder/internal/sched"
+	"sforder/internal/workload"
+)
+
+// Detector selects a race-detection algorithm.
+type Detector int
+
+const (
+	// SFOrder is the paper's parallel detector for structured futures.
+	SFOrder Detector = iota
+	// FOrder is the parallel baseline for general futures (Xu et al.,
+	// PPoPP'20).
+	FOrder
+	// MultiBags is the sequential baseline for structured futures
+	// (Utterback et al., PPoPP'19). It forces serial execution.
+	MultiBags
+)
+
+func (d Detector) String() string {
+	switch d {
+	case SFOrder:
+		return "SF-Order"
+	case FOrder:
+		return "F-Order"
+	case MultiBags:
+		return "MultiBags"
+	default:
+		return fmt.Sprintf("Detector(%d)", int(d))
+	}
+}
+
+// Mode selects the instrumentation level (paper §4).
+type Mode int
+
+const (
+	// Base runs without any instrumentation.
+	Base Mode = iota
+	// Reach maintains the reachability structures but checks no
+	// accesses.
+	Reach
+	// Full runs complete race detection.
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Base:
+		return "base"
+	case Reach:
+		return "reach"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config is one measured configuration.
+type Config struct {
+	Detector Detector
+	Mode     Mode
+	Workers  int  // ≥1; 1 means one worker on the parallel engine
+	Serial   bool // use the serial executor (required for MultiBags)
+	// Policy selects the reader-retention policy for Full mode;
+	// default (ReadersAll) matches the paper's implementation (§4).
+	Policy detect.ReaderPolicy
+	// CountAccesses enables engine access counters (adds overhead;
+	// used by the Figure 3 characterization run).
+	CountAccesses bool
+	// Filter puts the strand-local redundancy filter in front of the
+	// access history (the §6 future-work extension; ABL4).
+	Filter bool
+	// Backend selects the shadow-table layout for Full mode.
+	Backend detect.Backend
+}
+
+// Result is one measured run.
+type Result struct {
+	Config   Config
+	Elapsed  time.Duration
+	Counts   sched.Counts
+	Queries  uint64 // reachability queries served
+	Races    uint64
+	ReachMem int // bytes held by the reachability component
+	HistMem  int // bytes held by the access history
+}
+
+// reachComponent is what every reachability implementation provides.
+type reachComponent interface {
+	sched.Tracer
+	detect.Reachability
+	MemBytes() int
+	Queries() uint64
+}
+
+// Run executes benchmark b once under cfg and returns the measurement.
+// The benchmark's Verify hook is checked; a verification failure is an
+// error (the run was not a valid measurement).
+func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
+	if cfg.Detector == MultiBags && !cfg.Serial && cfg.Mode != Base {
+		return nil, fmt.Errorf("harness: MultiBags requires Serial (it is a sequential algorithm)")
+	}
+	run := b.Make()
+
+	var reach reachComponent
+	var leftOf func(a, b *sched.Strand) bool
+	if cfg.Mode != Base {
+		switch cfg.Detector {
+		case SFOrder:
+			sf := core.NewReach()
+			reach, leftOf = sf, sf.LeftOf
+		case FOrder:
+			reach = forder.NewReach()
+		case MultiBags:
+			reach = multibags.NewReach()
+		default:
+			return nil, fmt.Errorf("harness: unknown detector %v", cfg.Detector)
+		}
+	}
+
+	var hist *detect.History
+	opts := sched.Options{
+		Serial:        cfg.Serial,
+		Workers:       cfg.Workers,
+		CountAccesses: cfg.CountAccesses,
+	}
+	if reach != nil {
+		opts.Tracer = reach
+	}
+	if cfg.Mode == Full {
+		hopts := detect.Options{Reach: reach, Policy: cfg.Policy, Backend: cfg.Backend}
+		if cfg.Policy == detect.ReadersLR {
+			if leftOf == nil {
+				return nil, fmt.Errorf("harness: ReadersLR policy requires SF-Order")
+			}
+			hopts.LeftOf = leftOf
+		}
+		hist = detect.NewHistory(hopts)
+		if cfg.Filter {
+			opts.Checker = detect.NewStrandFilter(hist)
+		} else {
+			opts.Checker = hist
+		}
+	}
+
+	start := time.Now()
+	counts, err := sched.Run(opts, run.Main)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s %v/%v: %w", b.Name, cfg.Detector, cfg.Mode, err)
+	}
+	if err := run.Verify(); err != nil {
+		return nil, fmt.Errorf("harness: %s %v/%v verification: %w", b.Name, cfg.Detector, cfg.Mode, err)
+	}
+
+	res := &Result{Config: cfg, Elapsed: elapsed, Counts: counts}
+	if reach != nil {
+		res.Queries = reach.Queries()
+		res.ReachMem = reach.MemBytes()
+	}
+	if hist != nil {
+		res.Races = hist.RaceCount()
+		res.HistMem = hist.MemBytes()
+	}
+	return res, nil
+}
+
+// RunBest runs cfg `repeats` times and returns the fastest measurement
+// (minimum wall-clock), the usual stabilizer for small benchmarks.
+func RunBest(b *workload.Benchmark, cfg Config, repeats int) (*Result, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best *Result
+	for i := 0; i < repeats; i++ {
+		r, err := Run(b, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || r.Elapsed < best.Elapsed {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// DefaultWorkers returns the worker count used for the paper's "T20"
+// column on this machine: GOMAXPROCS, at least 2.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return w
+}

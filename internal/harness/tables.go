@@ -1,0 +1,286 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"sforder/internal/detect"
+	"sforder/internal/workload"
+)
+
+// Fig3Row is one row of the Figure 3 characteristics table.
+type Fig3Row struct {
+	Bench   string
+	N, B    int
+	Reads   uint64
+	Writes  uint64
+	Queries uint64
+	Futures uint64
+	Nodes   uint64
+}
+
+// Fig3 characterizes every benchmark: one serial full-detection run with
+// access counting gathers all columns at once.
+func Fig3(benches []*workload.Benchmark) ([]Fig3Row, error) {
+	var rows []Fig3Row
+	for _, b := range benches {
+		res, err := Run(b, Config{
+			Detector:      SFOrder,
+			Mode:          Full,
+			Serial:        true,
+			CountAccesses: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			Bench:   b.Name,
+			N:       b.N,
+			B:       b.B,
+			Reads:   res.Counts.Reads,
+			Writes:  res.Counts.Writes,
+			Queries: res.Queries,
+			Futures: res.Counts.Futures - 1, // exclude the root, as the paper counts created futures
+			Nodes:   res.Counts.Strands,
+		})
+	}
+	return rows, nil
+}
+
+// PrintFig3 renders the rows like the paper's Figure 3.
+func PrintFig3(w io.Writer, rows []Fig3Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tN\tB\t# reads\t# writes\t# queries\t# futures\t# nodes")
+	for _, r := range rows {
+		base := ""
+		if r.B > 0 {
+			base = fmt.Sprint(r.B)
+		} else {
+			base = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\n",
+			r.Bench, r.N, base, sci(r.Reads), sci(r.Writes), sci(r.Queries), r.Futures, r.Nodes)
+	}
+	tw.Flush()
+}
+
+// sci renders large counts in the paper's m.mm × 10^e style.
+func sci(v uint64) string {
+	if v < 100000 {
+		return fmt.Sprint(v)
+	}
+	f := float64(v)
+	e := 0
+	for f >= 10 {
+		f /= 10
+		e++
+	}
+	return fmt.Sprintf("%.2fe%d", f, e)
+}
+
+// Fig4Cell is one timing measurement of the Figure 4 grid.
+type Fig4Cell struct {
+	Seconds  float64
+	Overhead float64 // vs the base run at the same worker count
+	Scale    float64 // T1 of the same configuration / this time
+}
+
+// Fig4Row is one benchmark's two lines (reach and full) of Figure 4.
+type Fig4Row struct {
+	Bench    string
+	Workers  int // the "TP" worker count used
+	BaseT1   float64
+	BaseTP   Fig4Cell
+	ByConfig map[string]Fig4Cell // keys like "MultiBags/reach/T1", "SF-Order/full/TP"
+}
+
+func key(d Detector, m Mode, tp bool) string {
+	suffix := "T1"
+	if tp {
+		suffix = "TP"
+	}
+	return fmt.Sprintf("%s/%s/%s", d, m, suffix)
+}
+
+// Fig4 measures the full grid for the given benchmarks. repeats selects
+// best-of-n timing. MultiBags runs only at T1 (it is sequential, which
+// is the point of the comparison); the parallel detectors run at one
+// worker and at workers workers.
+func Fig4(benches []*workload.Benchmark, workers, repeats int) ([]Fig4Row, error) {
+	var rows []Fig4Row
+	for _, b := range benches {
+		row := Fig4Row{Bench: b.Name, Workers: workers, ByConfig: map[string]Fig4Cell{}}
+
+		baseT1, err := RunBest(b, Config{Mode: Base, Serial: true}, repeats)
+		if err != nil {
+			return nil, err
+		}
+		row.BaseT1 = baseT1.Elapsed.Seconds()
+		baseTP, err := RunBest(b, Config{Mode: Base, Workers: workers}, repeats)
+		if err != nil {
+			return nil, err
+		}
+		row.BaseTP = Fig4Cell{
+			Seconds: baseTP.Elapsed.Seconds(),
+			Scale:   row.BaseT1 / baseTP.Elapsed.Seconds(),
+		}
+
+		for _, mode := range []Mode{Reach, Full} {
+			// MultiBags: serial executor only.
+			mb, err := RunBest(b, Config{Detector: MultiBags, Mode: mode, Serial: true}, repeats)
+			if err != nil {
+				return nil, err
+			}
+			row.ByConfig[key(MultiBags, mode, false)] = Fig4Cell{
+				Seconds:  mb.Elapsed.Seconds(),
+				Overhead: mb.Elapsed.Seconds() / row.BaseT1,
+			}
+			for _, det := range []Detector{FOrder, SFOrder} {
+				t1, err := RunBest(b, Config{Detector: det, Mode: mode, Workers: 1}, repeats)
+				if err != nil {
+					return nil, err
+				}
+				row.ByConfig[key(det, mode, false)] = Fig4Cell{
+					Seconds:  t1.Elapsed.Seconds(),
+					Overhead: t1.Elapsed.Seconds() / row.BaseT1,
+				}
+				tp, err := RunBest(b, Config{Detector: det, Mode: mode, Workers: workers}, repeats)
+				if err != nil {
+					return nil, err
+				}
+				row.ByConfig[key(det, mode, true)] = Fig4Cell{
+					Seconds:  tp.Elapsed.Seconds(),
+					Overhead: tp.Elapsed.Seconds() / row.BaseTP.Seconds,
+					Scale:    t1.Elapsed.Seconds() / tp.Elapsed.Seconds(),
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig4 renders the grid like the paper's Figure 4 (times in
+// seconds; parenthesized overhead vs base; bracketed scalability vs the
+// same configuration's T1).
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tbase(T1)\tbase(TP)\tconfig\tMultiBags(T1)\tF-Order(T1)\tSF-Order(T1)\tF-Order(TP)\tSF-Order(TP)")
+	for _, r := range rows {
+		for i, mode := range []Mode{Reach, Full} {
+			b1, bp := "", ""
+			if i == 0 {
+				b1 = fmt.Sprintf("%.3f", r.BaseT1)
+				bp = fmt.Sprintf("%.3f [%.2fx]", r.BaseTP.Seconds, r.BaseTP.Scale)
+			}
+			name := ""
+			if i == 0 {
+				name = r.Bench
+			}
+			mb := r.ByConfig[key(MultiBags, mode, false)]
+			f1 := r.ByConfig[key(FOrder, mode, false)]
+			s1 := r.ByConfig[key(SFOrder, mode, false)]
+			fp := r.ByConfig[key(FOrder, mode, true)]
+			sp := r.ByConfig[key(SFOrder, mode, true)]
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.3f (%.2fx)\t%.3f (%.2fx)\t%.3f (%.2fx)\t%.3f [%.2fx]\t%.3f [%.2fx]\n",
+				name, b1, bp, mode,
+				mb.Seconds, mb.Overhead,
+				f1.Seconds, f1.Overhead,
+				s1.Seconds, s1.Overhead,
+				fp.Seconds, fp.Scale,
+				sp.Seconds, sp.Scale)
+		}
+	}
+	tw.Flush()
+}
+
+// Fig5Row is one row of the Figure 5 memory table.
+type Fig5Row struct {
+	Bench        string
+	FOrderMB     float64
+	SFOrderMB    float64
+	RatioSFoverF float64
+}
+
+// Fig5 measures reachability-maintenance memory under the reach
+// configuration (serial runs keep the measurement deterministic).
+func Fig5(benches []*workload.Benchmark) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	for _, b := range benches {
+		fo, err := Run(b, Config{Detector: FOrder, Mode: Reach, Serial: true})
+		if err != nil {
+			return nil, err
+		}
+		sf, err := Run(b, Config{Detector: SFOrder, Mode: Reach, Serial: true})
+		if err != nil {
+			return nil, err
+		}
+		const mb = 1 << 20
+		row := Fig5Row{
+			Bench:     b.Name,
+			FOrderMB:  float64(fo.ReachMem) / mb,
+			SFOrderMB: float64(sf.ReachMem) / mb,
+		}
+		if fo.ReachMem > 0 {
+			row.RatioSFoverF = float64(sf.ReachMem) / float64(fo.ReachMem)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig5 renders the memory table (MB; the paper reports GB at its
+// much larger inputs).
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tF-Order (MB)\tSF-Order (MB)\tSF/F ratio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.4f\n", r.Bench, r.FOrderMB, r.SFOrderMB, r.RatioSFoverF)
+	}
+	tw.Flush()
+}
+
+// Ablation compares SF-Order's ReadersAll (the paper's shipped choice)
+// with ReadersLR (the 2k theory bound) on one benchmark, full detection.
+type AblationRow struct {
+	Bench      string
+	AllSeconds float64
+	LRSeconds  float64
+	AllHistMB  float64
+	LRHistMB   float64
+}
+
+// AblationReaderPolicy measures ABL1 from DESIGN.md.
+func AblationReaderPolicy(benches []*workload.Benchmark, repeats int) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, b := range benches {
+		all, err := RunBest(b, Config{Detector: SFOrder, Mode: Full, Serial: true, Policy: detect.ReadersAll}, repeats)
+		if err != nil {
+			return nil, err
+		}
+		lr, err := RunBest(b, Config{Detector: SFOrder, Mode: Full, Serial: true, Policy: detect.ReadersLR}, repeats)
+		if err != nil {
+			return nil, err
+		}
+		const mb = 1 << 20
+		rows = append(rows, AblationRow{
+			Bench:      b.Name,
+			AllSeconds: all.Elapsed.Seconds(),
+			LRSeconds:  lr.Elapsed.Seconds(),
+			AllHistMB:  float64(all.HistMem) / mb,
+			LRHistMB:   float64(lr.HistMem) / mb,
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblation renders the reader-policy ablation.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "bench\tall: time(s)\tlr: time(s)\tall: hist MB\tlr: hist MB")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%.3f\n", r.Bench, r.AllSeconds, r.LRSeconds, r.AllHistMB, r.LRHistMB)
+	}
+	tw.Flush()
+}

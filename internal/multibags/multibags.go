@@ -1,0 +1,162 @@
+// Package multibags implements MultiBags, the state-of-the-art
+// sequential race detector for structured futures (Utterback, Agrawal,
+// Fineman, Lee, PPoPP'19) — the second baseline of the paper.
+//
+// MultiBags extends the classic SP-bags algorithm (Feng & Leiserson) from
+// fork-join to structured futures. The computation executes serially in
+// left-to-right depth-first order, and every executed strand lives in a
+// union-find set ("bag") tagged S or P:
+//
+//   - a strand in an S bag logically precedes the currently executing
+//     instruction;
+//   - a strand in a P bag is logically parallel to it.
+//
+// Bag maintenance on the parallel-control events:
+//
+//   - spawn: the child function instance gets fresh S and P bags;
+//   - child return: the child's S bag empties into the parent's P bag;
+//   - sync: the function's P bag empties into its S bag;
+//   - create: the future task gets fresh bags like a spawned child;
+//   - put (future completes): the future's S bag is re-tagged P — its
+//     strands stay parallel to everything that follows until the get;
+//   - get: the future's bag empties into the getter's S bag.
+//
+// Every operation is a constant number of union-find operations, so the
+// detector adds only an inverse-Ackermann factor over the serial
+// execution — but it is inherently sequential: the bag invariants are
+// meaningful only relative to the current position of the left-to-right
+// depth-first traversal, which is exactly the limitation SF-Order lifts.
+// Reach must therefore only be used with sched.Options{Serial: true}.
+package multibags
+
+import (
+	"sforder/internal/sched"
+	"sforder/internal/unionfind"
+)
+
+type bagKind uint8
+
+const (
+	kindS bagKind = iota
+	kindP
+)
+
+// sNode is the per-strand payload: the union-find element whose set's
+// tag answers queries about this strand.
+type sNode struct {
+	elem int
+	fi   *fiInfo
+}
+
+// fiInfo is the per-function-instance bag pair. sAnchor and pAnchor are
+// union-find elements permanently inside the instance's S and P sets.
+type fiInfo struct {
+	parent  *fiInfo
+	sAnchor int
+	pAnchor int
+}
+
+// Reach is the MultiBags reachability component: a sched.Tracer plus
+// detect.Reachability for serial executions.
+type Reach struct {
+	uf      unionfind.Forest
+	queries uint64
+}
+
+// NewReach returns an empty MultiBags component.
+func NewReach() *Reach { return &Reach{} }
+
+func nodeOf(s *sched.Strand) *sNode { return s.Det.(*sNode) }
+
+func (r *Reach) newFI(parent *fiInfo) *fiInfo {
+	return &fiInfo{
+		parent:  parent,
+		sAnchor: r.uf.MakeSet(kindS),
+		pAnchor: r.uf.MakeSet(kindP),
+	}
+}
+
+// OnRoot implements sched.Tracer.
+func (r *Reach) OnRoot(root *sched.Strand) {
+	fi := r.newFI(nil)
+	root.Det = &sNode{elem: fi.sAnchor, fi: fi}
+	root.Fut.Det = fi
+}
+
+// OnSpawn implements sched.Tracer: the child instance gets fresh bags;
+// the continuation joins the spawner's S bag.
+func (r *Reach) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	un := nodeOf(u)
+	cfi := r.newFI(un.fi)
+	child.Det = &sNode{elem: cfi.sAnchor, fi: cfi}
+	cont.Det = &sNode{elem: un.fi.sAnchor, fi: un.fi}
+	// The sync strand's bag is assigned when the sync executes.
+}
+
+// OnReturn implements sched.Tracer: the completed child's S bag empties
+// into the parent's P bag (its strands are parallel to the parent's
+// continuation until the next sync).
+func (r *Reach) OnReturn(sink *sched.Strand) {
+	cfi := nodeOf(sink).fi
+	r.uf.UnionInto(cfi.parent.pAnchor, cfi.sAnchor)
+}
+
+// OnSync implements sched.Tracer: the P bag empties into the S bag and a
+// fresh P bag replaces it; the sync strand joins the S bag.
+func (r *Reach) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+	fi := nodeOf(k).fi
+	r.uf.UnionInto(fi.sAnchor, fi.pAnchor)
+	fi.pAnchor = r.uf.MakeSet(kindP)
+	s.Det = &sNode{elem: fi.sAnchor, fi: fi}
+}
+
+// OnCreate implements sched.Tracer: the future task body behaves like a
+// fresh function instance while it executes.
+func (r *Reach) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	un := nodeOf(u)
+	gfi := r.newFI(un.fi)
+	first.Det = &sNode{elem: gfi.sAnchor, fi: gfi}
+	cont.Det = &sNode{elem: un.fi.sAnchor, fi: un.fi}
+	f.Det = gfi
+}
+
+// OnPut implements sched.Tracer: the completed future's strands become
+// parallel to everything that follows — until the get — so its S bag is
+// re-tagged P in place.
+func (r *Reach) OnPut(sink *sched.Strand, f *sched.FutureTask) {
+	gfi := f.Det.(*fiInfo)
+	r.uf.SetData(gfi.sAnchor, kindP)
+}
+
+// OnGet implements sched.Tracer: the gotten future's bag empties into
+// the getter's S bag (and becomes S-tagged through UnionInto).
+func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	un := nodeOf(u)
+	gfi := f.Det.(*fiInfo)
+	r.uf.UnionInto(un.fi.sAnchor, gfi.sAnchor)
+	g.Det = &sNode{elem: un.fi.sAnchor, fi: un.fi}
+}
+
+// Precedes implements detect.Reachability. u must be an already-executed
+// strand and v the currently executing one — the only direction a
+// sequential SP-bags style detector can answer.
+func (r *Reach) Precedes(u, v *sched.Strand) bool {
+	r.queries++
+	if u == v {
+		return true
+	}
+	return r.uf.Data(nodeOf(u).elem).(bagKind) == kindS
+}
+
+// Queries returns the number of Precedes calls served.
+func (r *Reach) Queries() uint64 { return r.queries }
+
+// MemBytes estimates the component's footprint: the union-find arrays
+// plus the per-strand records.
+func (r *Reach) MemBytes() int {
+	const elemSize = 8 + 1 + 16 // parent + rank + datum
+	const nodeSize = 24
+	return r.uf.Len()*elemSize + r.uf.Len()*nodeSize
+}
+
+var _ sched.Tracer = (*Reach)(nil)

@@ -1,0 +1,151 @@
+package multibags_test
+
+import (
+	"testing"
+
+	"sforder/internal/dag"
+	"sforder/internal/detect"
+	"sforder/internal/multibags"
+	"sforder/internal/oracle"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// TestOnlineQueriesAgainstRecordedTruth validates the bag invariant
+// online: at selected program points we query recorded strands against
+// the current strand and compare with structural expectations.
+func TestOnlineQueriesAgainstRecordedTruth(t *testing.T) {
+	r := multibags.NewReach()
+	var child, contBefore *sched.Strand
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: r}, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) { child = c.Strand() })
+		contBefore = t.Strand()
+		// Child completed (serial execution) but is not synced: parallel.
+		if r.Precedes(child, t.Strand()) {
+			panic("unsynced child must be parallel to the continuation")
+		}
+		t.Sync()
+		if !r.Precedes(child, t.Strand()) {
+			panic("synced child must precede the post-sync strand")
+		}
+		if !r.Precedes(contBefore, t.Strand()) {
+			panic("earlier strand of the same instance must precede")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureParallelUntilGet(t *testing.T) {
+	r := multibags.NewReach()
+	var inFut *sched.Strand
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: r}, func(t *sched.Task) {
+		h := t.Create(func(c *sched.Task) any { inFut = c.Strand(); return nil })
+		if r.Precedes(inFut, t.Strand()) {
+			panic("completed but ungotten future must be parallel")
+		}
+		t.Get(h)
+		if !r.Precedes(inFut, t.Strand()) {
+			panic("gotten future must precede")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleGottenInSpawnedChild(t *testing.T) {
+	r := multibags.NewReach()
+	var inFut *sched.Strand
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: r}, func(t *sched.Task) {
+		h := t.Create(func(c *sched.Task) any { inFut = c.Strand(); return 1 })
+		t.Spawn(func(c *sched.Task) {
+			c.Get(h)
+			if !r.Precedes(inFut, c.Strand()) {
+				panic("future must precede the getter's continuation")
+			}
+		})
+		t.Sync()
+		if !r.Precedes(inFut, t.Strand()) {
+			panic("future must precede post-sync code via the getting child")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// multiChecker fans accesses to the history and the oracle.
+type multiChecker []sched.AccessChecker
+
+func (m multiChecker) Read(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Read(s, addr)
+	}
+}
+func (m multiChecker) Write(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Write(s, addr)
+	}
+}
+
+// TestFullDetectionMatchesOracle is the main battery: MultiBags race
+// detection must agree with the oracle at location granularity on random
+// structured-future programs.
+func TestFullDetectionMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 6})
+		reach := multibags.NewReach()
+		hist := detect.NewHistory(detect.Options{Reach: reach})
+		rec := dag.NewRecorder()
+		log := oracle.NewLogger()
+		_, err := sched.Run(sched.Options{
+			Serial:  true,
+			Tracer:  sched.MultiTracer{reach, rec},
+			Checker: multiChecker{hist, log},
+		}, p.Main())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := hist.RacyAddrs(), log.RacyAddrs(rec)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: detector %v, oracle %v", seed, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: detector %v, oracle %v", seed, got, want)
+			}
+		}
+	}
+}
+
+func TestSeededRace(t *testing.T) {
+	reach := multibags.NewReach()
+	hist := detect.NewHistory(detect.Options{Reach: reach})
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: reach, Checker: hist}, func(t *sched.Task) {
+		h := t.Create(func(c *sched.Task) any { c.Write(9); return nil })
+		t.Write(9)
+		t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.RaceCount() == 0 {
+		t.Fatal("seeded future race missed")
+	}
+}
+
+func TestCountersAndMemory(t *testing.T) {
+	r := multibags.NewReach()
+	_, err := sched.Run(sched.Options{Serial: true, Tracer: r}, func(t *sched.Task) {
+		t.Spawn(func(*sched.Task) {})
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemBytes() <= 0 {
+		t.Error("MultiBags must account memory")
+	}
+}

@@ -1,0 +1,106 @@
+package multibags_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sforder/internal/dag"
+	"sforder/internal/multibags"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// onlineProbe queries a fixed set of previously executed strands against
+// the current strand at every access point and compares each answer with
+// the oracle afterwards. This validates MultiBags within its contract
+// (queries are only meaningful against the currently executing strand).
+type onlineProbe struct {
+	reach *multibags.Reach
+	rec   *dag.Recorder
+
+	// accessed holds strands that have actually performed an access —
+	// the only strands a real history can contain, and the only ones a
+	// sequential SP-bags detector may be asked about. Strands that
+	// exist structurally but have not begun executing (a create's
+	// continuation while the future body runs first under the serial
+	// order) are NOT valid query subjects.
+	accessed []*sched.Strand
+	seen     map[*sched.Strand]bool
+
+	// each probe: (recorded strand, current strand, answer)
+	probes []probe
+}
+
+type probe struct {
+	u, v *sched.Strand
+	ans  bool
+}
+
+func (o *onlineProbe) Read(s *sched.Strand, addr uint64)  { o.sample(s) }
+func (o *onlineProbe) Write(s *sched.Strand, addr uint64) { o.sample(s) }
+
+func (o *onlineProbe) sample(cur *sched.Strand) {
+	step := 1 + len(o.accessed)/8
+	for i := 0; i < len(o.accessed); i += step {
+		u := o.accessed[i]
+		if u == cur {
+			continue
+		}
+		o.probes = append(o.probes, probe{u, cur, o.reach.Precedes(u, cur)})
+	}
+	if o.seen == nil {
+		o.seen = map[*sched.Strand]bool{}
+	}
+	if !o.seen[cur] {
+		o.seen[cur] = true
+		o.accessed = append(o.accessed, cur)
+	}
+}
+
+// TestQuickOnlineQueriesMatchOracle is the main MultiBags battery: every
+// online query issued during a random program's serial execution must
+// match the final dag's reachability.
+func TestQuickOnlineQueriesMatchOracle(t *testing.T) {
+	f := func(seed int64, depth, ops uint8) bool {
+		p := progen.New(progen.Config{
+			Seed:     seed,
+			MaxDepth: 1 + int(depth%4),
+			MaxOps:   1 + int(ops%7),
+		})
+		reach := multibags.NewReach()
+		rec := dag.NewRecorder()
+		pr := &onlineProbe{reach: reach, rec: rec}
+		_, err := sched.Run(sched.Options{
+			Serial:  true,
+			Tracer:  sched.MultiTracer{reach, rec},
+			Checker: pr,
+		}, p.Main())
+		if err != nil {
+			return false
+		}
+		cl := dag.NewClosure(rec.G)
+		for _, q := range pr.probes {
+			if q.ans != cl.Reachable(rec.NodeOf(q.u), rec.NodeOf(q.v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueriesCounter sanity-checks the counter used by Figure 3.
+func TestQueriesCounter(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 2, MaxDepth: 3, MaxOps: 6})
+	reach := multibags.NewReach()
+	rec := dag.NewRecorder()
+	pr := &onlineProbe{reach: reach, rec: rec}
+	if _, err := sched.Run(sched.Options{Serial: true, Tracer: sched.MultiTracer{reach, rec}, Checker: pr}, p.Main()); err != nil {
+		t.Fatal(err)
+	}
+	if reach.Queries() != uint64(len(pr.probes)) {
+		t.Errorf("Queries = %d, probes = %d", reach.Queries(), len(pr.probes))
+	}
+}

@@ -1,0 +1,4 @@
+package om
+
+// CheckInvariants exposes the internal consistency checker to tests.
+func (l *List) CheckInvariants() error { return l.checkInvariants() }

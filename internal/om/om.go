@@ -1,0 +1,439 @@
+// Package om implements the order-maintenance (OM) data structure used by
+// the WSP-Order and SF-Order reachability components: a total order of
+// items supporting InsertAfter and constant-time order queries
+// (Dietz–Sleator list labeling, two-level variant).
+//
+// SF-Order (like WSP-Order before it) keeps dag nodes in two OM lists —
+// the English (left-to-right DFS) and Hebrew (right-to-left DFS) orders of
+// the pseudo-SP-dag — and decides series-parallel relationships by
+// comparing an item's position in both lists.
+//
+// # Concurrency
+//
+// The original WSP-Order obtains amortized O(1) queries under parallel
+// execution through specialized work-stealing runtime support that
+// coordinates query/rebalance interleavings. This implementation obtains
+// the same interface guarantees with a seqlock: queries are lock-free
+// optimistic reads of atomic labels, retried on the (rare) relabelings;
+// inserts are serialized by a per-list mutex. Queries therefore stay
+// constant time in the common case while inserts — which happen once per
+// dag node, not once per memory access — pay the serialization. DESIGN.md
+// documents this substitution.
+package om
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// bucketCap is the maximum number of items per bottom-level bucket
+	// before it splits.
+	bucketCap = 64
+	// itemSpan is the spacing used when a bucket's items are relabeled
+	// evenly. bucketCap*itemSpan must not overflow uint64.
+	itemSpan = uint64(1) << 56
+	// topSpace is the exclusive upper bound of top-level (bucket) labels.
+	topSpace = uint64(1) << 62
+)
+
+// Item is a position in a List. Items are created by the List insert
+// methods and compared with Precedes. An Item is immutable from the
+// caller's perspective; its label fields are managed by the list.
+type Item struct {
+	bucket atomic.Pointer[bucket]
+	label  atomic.Uint64
+}
+
+type bucket struct {
+	label      atomic.Uint64
+	prev, next *bucket
+	items      []*Item // ordered by label; accessed only under List.mu
+}
+
+// List is an order-maintenance list. The zero value is not usable; create
+// lists with NewList. Concurrent Precedes queries may run alongside
+// inserts; inserts are mutually serialized.
+type List struct {
+	mu      sync.Mutex
+	version atomic.Uint64 // seqlock: odd while labels are being rewritten
+	head    *bucket
+	tail    *bucket
+	size    int
+
+	splits    int
+	relabels  int // bucket-internal relabelings
+	renumbers int // top-level renumberings (local or global)
+}
+
+// NewList returns an empty list.
+func NewList() *List { return &List{} }
+
+// Len returns the number of items in the list.
+func (l *List) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Stats returns maintenance counters: bucket splits, bucket-internal
+// relabelings, and top-level renumberings. Used by tests and the
+// experiment harness to confirm rebalancing stays rare.
+func (l *List) Stats() (splits, relabels, renumbers int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.splits, l.relabels, l.renumbers
+}
+
+// MemBytes estimates the heap footprint of the list (items + buckets) in
+// bytes, for the Figure 5 memory-accounting harness.
+func (l *List) MemBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	const itemSize, bucketSize = 24, 64
+	total := 0
+	for b := l.head; b != nil; b = b.next {
+		total += bucketSize + 8*cap(b.items)
+	}
+	return total + itemSize*l.size
+}
+
+// InsertFirst inserts an item at the head of an empty list and returns
+// it. It panics if the list is non-empty: all subsequent positions must be
+// created relative to existing ones so the total order is well defined.
+func (l *List) InsertFirst() *Item {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.size != 0 {
+		panic("om: InsertFirst on non-empty list")
+	}
+	b := &bucket{}
+	b.label.Store(topSpace / 2)
+	l.head, l.tail = b, b
+	it := &Item{}
+	it.label.Store(itemSpan)
+	it.bucket.Store(b)
+	b.items = append(b.items, it)
+	l.size = 1
+	return it
+}
+
+// InsertAfter inserts a new item immediately after x and returns it.
+func (l *List) InsertAfter(x *Item) *Item {
+	return l.InsertAfterN(x, 1)[0]
+}
+
+// InsertAfterN atomically inserts n new items immediately after x, in the
+// order returned (result[0] directly follows x). The batch form exists
+// because a spawn event must place the child strand, the continuation
+// strand, and possibly the sync placeholder in one step, with no other
+// insert landing between them.
+func (l *List) InsertAfterN(x *Item, n int) []*Item {
+	if n <= 0 {
+		panic("om: InsertAfterN with n <= 0")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Item, n)
+	prev := x
+	for i := range out {
+		out[i] = l.insertAfterLocked(prev)
+		prev = out[i]
+	}
+	return out
+}
+
+// insertAfterLocked inserts one item after x. Caller holds l.mu.
+func (l *List) insertAfterLocked(x *Item) *Item {
+	b := x.bucket.Load()
+	idx := indexOf(b.items, x)
+	if idx < 0 {
+		panic("om: item not found in its bucket")
+	}
+	if len(b.items) >= bucketCap {
+		b = l.split(b, &idx, x)
+	}
+	// Compute a label strictly between x and its in-bucket successor.
+	lo := x.label.Load()
+	hi := uint64(0) // exclusive sentinel meaning "top of label space"
+	if idx+1 < len(b.items) {
+		hi = b.items[idx+1].label.Load()
+	}
+	lab, ok := mid(lo, hi)
+	if !ok {
+		l.relabelBucket(b)
+		idx = indexOf(b.items, x)
+		lo = x.label.Load()
+		hi = 0
+		if idx+1 < len(b.items) {
+			hi = b.items[idx+1].label.Load()
+		}
+		lab, ok = mid(lo, hi)
+		if !ok {
+			panic("om: no label room after bucket relabel")
+		}
+	}
+	it := &Item{}
+	it.label.Store(lab)
+	it.bucket.Store(b)
+	b.items = append(b.items, nil)
+	copy(b.items[idx+2:], b.items[idx+1:])
+	b.items[idx+1] = it
+	l.size++
+	return it
+}
+
+// mid returns a label strictly between lo and hi (hi==0 means the top of
+// the label space). ok is false when no integer fits.
+func mid(lo, hi uint64) (uint64, bool) {
+	if hi == 0 {
+		// Leave headroom by stepping a full span when possible.
+		if lo <= ^uint64(0)-itemSpan {
+			return lo + itemSpan, true
+		}
+		hi = ^uint64(0)
+	}
+	if hi-lo < 2 {
+		return 0, false
+	}
+	return lo + (hi-lo)/2, true
+}
+
+func indexOf(items []*Item, x *Item) int {
+	for i, it := range items {
+		if it == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// split divides bucket b in two, keeping the first half in b and moving
+// the rest to a fresh bucket placed immediately after b in the top-level
+// order. idx is updated (and the containing bucket returned) so that item
+// x remains addressable by the caller.
+func (l *List) split(b *bucket, idx *int, x *Item) *bucket {
+	l.splits++
+	nb := &bucket{prev: b, next: b.next}
+	if b.next != nil {
+		b.next.prev = nb
+	} else {
+		l.tail = nb
+	}
+	b.next = nb
+
+	l.beginWrite()
+	half := len(b.items) / 2
+	nb.items = append(nb.items, b.items[half:]...)
+	b.items = b.items[:half]
+	l.assignTopLabel(nb)
+	relabelItems(b)
+	relabelItems(nb)
+	for _, it := range nb.items {
+		it.bucket.Store(nb)
+	}
+	l.endWrite()
+
+	if *idx >= half {
+		*idx -= half
+		return nb
+	}
+	_ = x
+	return b
+}
+
+// relabelBucket rewrites all item labels in b with even spacing.
+func (l *List) relabelBucket(b *bucket) {
+	l.relabels++
+	l.beginWrite()
+	relabelItems(b)
+	l.endWrite()
+}
+
+func relabelItems(b *bucket) {
+	for i, it := range b.items {
+		it.label.Store(uint64(i+1) * itemSpan)
+	}
+}
+
+// assignTopLabel gives nb (already linked after nb.prev) a top-level
+// label strictly between its neighbours, renumbering a region of the
+// top-level order when the local gap is exhausted. Caller holds l.mu and
+// has already called beginWrite.
+func (l *List) assignTopLabel(nb *bucket) {
+	lo := nb.prev.label.Load()
+	hi := topSpace
+	if nb.next != nil {
+		hi = nb.next.label.Load()
+	}
+	if hi-lo >= 2 {
+		nb.label.Store(lo + (hi-lo)/2)
+		return
+	}
+	l.renumberAround(nb.prev)
+	lo = nb.prev.label.Load()
+	hi = topSpace
+	if nb.next != nil {
+		hi = nb.next.label.Load()
+	}
+	if hi-lo < 2 {
+		panic("om: top-level renumbering failed to open a gap")
+	}
+	nb.label.Store(lo + (hi-lo)/2)
+}
+
+// renumberAround implements prefix-range renumbering (the classic list
+// labeling rebalance): find the smallest power-of-two label range around
+// pivot whose occupancy is at most half its capacity, then spread the
+// buckets in that range evenly across it. Falls back to a global
+// renumbering across the whole label space.
+func (l *List) renumberAround(pivot *bucket) {
+	l.renumbers++
+	p := pivot.label.Load()
+	for j := uint(2); j < 62; j++ {
+		width := uint64(1) << j
+		lo := p &^ (width - 1)
+		hi := lo + width
+		if hi > topSpace {
+			break
+		}
+		// Collect the contiguous run of buckets whose labels lie in
+		// [lo, hi). Labels are monotone along the bucket chain.
+		first := pivot
+		for first.prev != nil && first.prev.label.Load() >= lo {
+			first = first.prev
+		}
+		count := 0
+		for b := first; b != nil && b.label.Load() < hi; b = b.next {
+			count++
+		}
+		if uint64(count)+1 <= width/2 {
+			// Enough room: spread evenly with gap width/(count+1).
+			gap := width / uint64(count+1)
+			if gap >= 2 {
+				lab := lo + gap
+				for b := first; b != nil && count > 0; b = b.next {
+					b.label.Store(lab)
+					lab += gap
+					count--
+				}
+				return
+			}
+		}
+	}
+	// Global renumber: spread every bucket across [gap, topSpace).
+	n := 0
+	for b := l.head; b != nil; b = b.next {
+		n++
+	}
+	gap := topSpace / uint64(n+1)
+	if gap < 2 {
+		panic("om: label space exhausted")
+	}
+	lab := gap
+	for b := l.head; b != nil; b = b.next {
+		b.label.Store(lab)
+		lab += gap
+	}
+}
+
+func (l *List) beginWrite() {
+	// Transition to odd: readers started before this will retry.
+	l.version.Add(1)
+}
+
+func (l *List) endWrite() {
+	l.version.Add(1)
+}
+
+// Precedes reports whether a is strictly before b in the list order.
+// It is safe to call concurrently with inserts; the query retries while a
+// relabeling is in flight.
+func (l *List) Precedes(a, b *Item) bool {
+	if a == b {
+		return false
+	}
+	for spin := 0; ; spin++ {
+		v1 := l.version.Load()
+		if v1&1 == 0 {
+			ba, bb := a.bucket.Load(), b.bucket.Load()
+			la, lb := ba.label.Load(), bb.label.Load()
+			ia, ib := a.label.Load(), b.label.Load()
+			if l.version.Load() == v1 {
+				if ba != bb {
+					return la < lb
+				}
+				return ia < ib
+			}
+		}
+		if spin > 16 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Compare returns -1 if a precedes b, +1 if b precedes a, and 0 if they
+// are the same item.
+func (l *List) Compare(a, b *Item) int {
+	switch {
+	case a == b:
+		return 0
+	case l.Precedes(a, b):
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Order returns the items in list order. It is intended for tests and
+// debugging; it takes the insert lock.
+func (l *List) Order() []*Item {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Item, 0, l.size)
+	for b := l.head; b != nil; b = b.next {
+		out = append(out, b.items...)
+	}
+	return out
+}
+
+// checkInvariants validates internal consistency (monotone labels, item
+// bucket pointers, size accounting). Exposed through an exported wrapper
+// in export_test.go for white-box tests.
+func (l *List) checkInvariants() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	var prevTop uint64
+	firstBucket := true
+	for b := l.head; b != nil; b = b.next {
+		if !firstBucket && b.label.Load() <= prevTop {
+			return fmt.Errorf("om: bucket labels not increasing (%d after %d)", b.label.Load(), prevTop)
+		}
+		prevTop = b.label.Load()
+		firstBucket = false
+		if len(b.items) == 0 && l.size > 0 && l.head != l.tail {
+			return fmt.Errorf("om: empty bucket in multi-bucket list")
+		}
+		var prevItem uint64
+		for i, it := range b.items {
+			if it.bucket.Load() != b {
+				return fmt.Errorf("om: item bucket pointer stale")
+			}
+			if i > 0 && it.label.Load() <= prevItem {
+				return fmt.Errorf("om: item labels not increasing (%d after %d)", it.label.Load(), prevItem)
+			}
+			prevItem = it.label.Load()
+			n++
+		}
+		if b.next == nil && b != l.tail {
+			return fmt.Errorf("om: tail pointer stale")
+		}
+	}
+	if n != l.size {
+		return fmt.Errorf("om: size %d but found %d items", l.size, n)
+	}
+	return nil
+}

@@ -1,0 +1,338 @@
+package om
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// refList is a reference implementation: a plain slice kept in order.
+type refList struct {
+	items []*Item
+}
+
+func (r *refList) insertAfter(x *Item, it *Item) {
+	if x == nil {
+		r.items = append([]*Item{it}, r.items...)
+		return
+	}
+	for i, cur := range r.items {
+		if cur == x {
+			r.items = append(r.items, nil)
+			copy(r.items[i+2:], r.items[i+1:])
+			r.items[i+1] = it
+			return
+		}
+	}
+	panic("refList: item not found")
+}
+
+func (r *refList) precedes(a, b *Item) bool {
+	ia, ib := -1, -1
+	for i, it := range r.items {
+		if it == a {
+			ia = i
+		}
+		if it == b {
+			ib = i
+		}
+	}
+	return ia < ib
+}
+
+func TestInsertFirstAndSingle(t *testing.T) {
+	l := NewList()
+	a := l.InsertFirst()
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if l.Precedes(a, a) {
+		t.Error("item precedes itself")
+	}
+	b := l.InsertAfter(a)
+	if !l.Precedes(a, b) {
+		t.Error("a should precede b")
+	}
+	if l.Precedes(b, a) {
+		t.Error("b should not precede a")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertFirstPanicsOnNonEmpty(t *testing.T) {
+	l := NewList()
+	l.InsertFirst()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on second InsertFirst")
+		}
+	}()
+	l.InsertFirst()
+}
+
+func TestInsertAfterNOrder(t *testing.T) {
+	l := NewList()
+	a := l.InsertFirst()
+	batch := l.InsertAfterN(a, 3)
+	want := []*Item{a, batch[0], batch[1], batch[2]}
+	got := l.Order()
+	if len(got) != len(want) {
+		t.Fatalf("Order len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+	for i := 0; i < len(want); i++ {
+		for j := 0; j < len(want); j++ {
+			if got := l.Precedes(want[i], want[j]); got != (i < j) {
+				t.Errorf("Precedes(%d,%d) = %v, want %v", i, j, got, i < j)
+			}
+		}
+	}
+}
+
+func TestInsertAfterNPanicsOnZero(t *testing.T) {
+	l := NewList()
+	a := l.InsertFirst()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	l.InsertAfterN(a, 0)
+}
+
+// TestRandomAgainstReference inserts thousands of items at random
+// positions and compares every maintained answer against the slice-based
+// reference implementation.
+func TestRandomAgainstReference(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewList()
+		ref := &refList{}
+		first := l.InsertFirst()
+		ref.insertAfter(nil, first)
+		for i := 0; i < 3000; i++ {
+			x := ref.items[rng.Intn(len(ref.items))]
+			it := l.InsertAfter(x)
+			ref.insertAfter(x, it)
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Check full order.
+		got := l.Order()
+		for i := range got {
+			if got[i] != ref.items[i] {
+				t.Fatalf("seed %d: order mismatch at %d", seed, i)
+			}
+		}
+		// Spot-check Precedes on random pairs.
+		for i := 0; i < 2000; i++ {
+			a := ref.items[rng.Intn(len(ref.items))]
+			b := ref.items[rng.Intn(len(ref.items))]
+			if l.Precedes(a, b) != ref.precedes(a, b) {
+				t.Fatalf("seed %d: Precedes disagrees with reference", seed)
+			}
+		}
+	}
+}
+
+// TestAppendHeavy exercises the "always insert after the last item"
+// pattern, which stresses top-of-label-space handling.
+func TestAppendHeavy(t *testing.T) {
+	l := NewList()
+	cur := l.InsertFirst()
+	items := []*Item{cur}
+	for i := 0; i < 20000; i++ {
+		cur = l.InsertAfter(cur)
+		items = append(items, cur)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a, b := rand.Intn(len(items)), rand.Intn(len(items))
+		if got := l.Precedes(items[a], items[b]); got != (a < b) {
+			t.Fatalf("Precedes(%d, %d) = %v", a, b, got)
+		}
+	}
+}
+
+// TestInsertAlwaysAfterFirst stresses the opposite pattern: every insert
+// lands immediately after the head, forcing repeated gap-halving, bucket
+// relabels and splits near the front.
+func TestInsertAlwaysAfterFirst(t *testing.T) {
+	l := NewList()
+	head := l.InsertFirst()
+	var items []*Item
+	for i := 0; i < 20000; i++ {
+		items = append(items, l.InsertAfter(head))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Items were prepended after head, so later inserts precede earlier.
+	for i := 0; i < 1000; i++ {
+		a, b := rand.Intn(len(items)), rand.Intn(len(items))
+		if a == b {
+			continue
+		}
+		if got := l.Precedes(items[a], items[b]); got != (a > b) {
+			t.Fatalf("Precedes(items[%d], items[%d]) = %v", a, b, got)
+		}
+		if !l.Precedes(head, items[a]) {
+			t.Fatal("head must precede every inserted item")
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	l := NewList()
+	a := l.InsertFirst()
+	b := l.InsertAfter(a)
+	if l.Compare(a, b) != -1 || l.Compare(b, a) != 1 || l.Compare(a, a) != 0 {
+		t.Error("Compare results inconsistent")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	l := NewList()
+	cur := l.InsertFirst()
+	for i := 0; i < 10000; i++ {
+		cur = l.InsertAfter(cur)
+	}
+	splits, _, _ := l.Stats()
+	if splits == 0 {
+		t.Error("expected at least one bucket split after 10k inserts")
+	}
+	if l.MemBytes() <= 0 {
+		t.Error("MemBytes should be positive")
+	}
+}
+
+// TestConcurrentQueries hammers Precedes from several goroutines on a
+// frozen prefix of the list while the main goroutine keeps inserting,
+// verifying that concurrent rebalancing never produces a wrong answer for
+// already-placed item pairs.
+func TestConcurrentQueries(t *testing.T) {
+	l := NewList()
+	cur := l.InsertFirst()
+	frozen := []*Item{cur}
+	for i := 0; i < 512; i++ {
+		cur = l.InsertAfter(cur)
+		frozen = append(frozen, cur)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := rng.Intn(len(frozen))
+				b := rng.Intn(len(frozen))
+				if got := l.Precedes(frozen[a], frozen[b]); got != (a < b) {
+					select {
+					case errs <- "concurrent Precedes returned wrong order":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	// Keep inserting at random frozen positions to force splits/relabels
+	// while queries run.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		l.InsertAfter(frozen[rng.Intn(len(frozen))])
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTransitivity property: for random insert sequences, Precedes
+// is a strict total order (irreflexive, antisymmetric, transitive, total).
+func TestQuickTransitivity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		if len(ops) > 300 {
+			ops = ops[:300]
+		}
+		l := NewList()
+		items := []*Item{l.InsertFirst()}
+		for _, op := range ops {
+			x := items[int(op)%len(items)]
+			items = append(items, l.InsertAfter(x))
+		}
+		n := len(items)
+		if n > 24 {
+			items = items[:24]
+			n = 24
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pij := l.Precedes(items[i], items[j])
+				pji := l.Precedes(items[j], items[i])
+				if i == j && (pij || pji) {
+					return false
+				}
+				if i != j && pij == pji {
+					return false // must be exactly one direction
+				}
+				for k := 0; k < n; k++ {
+					if pij && l.Precedes(items[j], items[k]) && !l.Precedes(items[i], items[k]) {
+						return false
+					}
+				}
+			}
+		}
+		return l.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertAfterSequential(b *testing.B) {
+	l := NewList()
+	cur := l.InsertFirst()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur = l.InsertAfter(cur)
+	}
+}
+
+func BenchmarkPrecedes(b *testing.B) {
+	l := NewList()
+	cur := l.InsertFirst()
+	items := []*Item{cur}
+	for i := 0; i < 4096; i++ {
+		cur = l.InsertAfter(cur)
+		items = append(items, cur)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Precedes(items[i%len(items)], items[(i*7+1)%len(items)])
+	}
+}

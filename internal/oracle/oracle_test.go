@@ -1,0 +1,118 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"sforder/internal/dag"
+	"sforder/internal/oracle"
+	"sforder/internal/sched"
+)
+
+func record(t *testing.T, main func(*sched.Task)) (*oracle.Logger, *dag.Recorder) {
+	t.Helper()
+	log := oracle.NewLogger()
+	rec := dag.NewRecorder()
+	if _, err := sched.Run(sched.Options{Serial: true, Tracer: rec, Checker: log}, main); err != nil {
+		t.Fatal(err)
+	}
+	return log, rec
+}
+
+func TestNoAccessesNoRaces(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Spawn(func(*sched.Task) {})
+		t.Sync()
+	})
+	if got := log.RacyAddrs(rec); len(got) != 0 {
+		t.Errorf("RacyAddrs = %v", got)
+	}
+	if log.Accesses() != 0 {
+		t.Error("no accesses were made")
+	}
+}
+
+func TestSerialAccessesNotRacy(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Write(1)
+		t.Read(1)
+		t.Spawn(func(c *sched.Task) { c.Write(2) })
+		t.Sync()
+		t.Write(2) // ordered after the child by the sync
+	})
+	if got := log.RacyAddrs(rec); len(got) != 0 {
+		t.Errorf("RacyAddrs = %v", got)
+	}
+}
+
+func TestParallelWritesRacy(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) { c.Write(5) })
+		t.Write(5)
+		t.Sync()
+	})
+	got := log.RacyAddrs(rec)
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("RacyAddrs = %v, want [5]", got)
+	}
+}
+
+func TestParallelReadsNotRacy(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) { c.Read(5) })
+		t.Read(5)
+		t.Sync()
+	})
+	if got := log.RacyAddrs(rec); len(got) != 0 {
+		t.Errorf("two reads never race, got %v", got)
+	}
+}
+
+func TestReadWriteAcrossFutureRacy(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		h := t.Create(func(c *sched.Task) any { c.Read(9); return nil })
+		t.Write(9)
+		t.Get(h)
+	})
+	got := log.RacyAddrs(rec)
+	if len(got) != 1 || got[0] != 9 {
+		t.Errorf("RacyAddrs = %v, want [9]", got)
+	}
+}
+
+func TestSameStrandConflictsNotRacy(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Write(3)
+		t.Write(3)
+		t.Read(3)
+	})
+	if got := log.RacyAddrs(rec); len(got) != 0 {
+		t.Errorf("same-strand accesses raced: %v", got)
+	}
+	if log.Accesses() != 3 {
+		t.Errorf("Accesses = %d, want 3", log.Accesses())
+	}
+}
+
+func TestRacyAddrsSorted(t *testing.T) {
+	log, rec := record(t, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) {
+			c.Write(30)
+			c.Write(10)
+			c.Write(20)
+		})
+		t.Write(20)
+		t.Write(30)
+		t.Write(10)
+		t.Sync()
+	})
+	got := log.RacyAddrs(rec)
+	want := []uint64{10, 20, 30}
+	if len(got) != 3 {
+		t.Fatalf("RacyAddrs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RacyAddrs = %v, want sorted %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package progen_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sforder/internal/dag"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// TestProgramsAreStructured: every generated program must produce a
+// valid SF-dag — single-touch, handle-safe paths, well-formed edges.
+func TestProgramsAreStructured(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 5, MaxOps: 9})
+		rec := dag.NewRecorder()
+		if _, err := sched.Run(sched.Options{Serial: true, Tracer: rec}, p.Main()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rec.G.Validate(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, rec.G.DOT())
+		}
+	}
+}
+
+// TestDeterministicAcrossRuns: one Program executed twice produces the
+// same counts (the handle table is per-execution).
+func TestDeterministicAcrossRuns(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 5, MaxDepth: 4, MaxOps: 8})
+	main := p.Main()
+	c1, err := sched.Run(sched.Options{Serial: true, CountAccesses: true}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sched.Run(sched.Options{Serial: true, CountAccesses: true}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Errorf("re-execution diverged: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestScheduleIndependentShape: serial and parallel executions of one
+// program produce the same dag-shape counts.
+func TestScheduleIndependentShape(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8})
+		cs, err := sched.Run(sched.Options{Serial: true, CountAccesses: true}, p.Main())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, err := sched.Run(sched.Options{Workers: 4, CountAccesses: true}, p.Main())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs != cp {
+			t.Errorf("seed %d: serial %+v != parallel %+v", seed, cs, cp)
+		}
+	}
+}
+
+// TestSlotsMatchCreates: Slots equals the number of futures created at
+// runtime.
+func TestSlotsMatchCreates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8})
+		c, err := sched.Run(sched.Options{Serial: true}, p.Main())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(c.Futures)-1 != p.Slots() {
+			t.Errorf("seed %d: runtime futures %d, Slots %d", seed, c.Futures-1, p.Slots())
+		}
+	}
+}
+
+// TestQuickGeneratedProgramsNeverPanic: property — arbitrary seeds and
+// shape parameters yield programs that execute cleanly and validate.
+func TestQuickGeneratedProgramsNeverPanic(t *testing.T) {
+	f := func(seed int64, depth, ops uint8) bool {
+		p := progen.New(progen.Config{
+			Seed:     seed,
+			MaxDepth: 1 + int(depth%5),
+			MaxOps:   1 + int(ops%10),
+		})
+		rec := dag.NewRecorder()
+		if _, err := sched.Run(sched.Options{Serial: true, Tracer: rec}, p.Main()); err != nil {
+			return false
+		}
+		return rec.G.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDequeLIFOPop(t *testing.T) {
+	w, _ := NewTestWorkerPair()
+	j1, j2, j3 := NewTestJob(), NewTestJob(), NewTestJob()
+	w.PushJob(j1)
+	w.PushJob(j2)
+	w.PushJob(j3)
+	if got := w.PopJob(); got != j3 {
+		t.Error("pop must take the newest job")
+	}
+	if got := w.PopJob(); got != j2 {
+		t.Error("pop order wrong")
+	}
+	if w.DequeLen() != 1 {
+		t.Errorf("DequeLen = %d", w.DequeLen())
+	}
+}
+
+func TestDequeFIFOSteal(t *testing.T) {
+	victim, thief := NewTestWorkerPair()
+	j1, j2 := NewTestJob(), NewTestJob()
+	victim.PushJob(j1)
+	victim.PushJob(j2)
+	if got := thief.StealJobFrom(victim); got != j1 {
+		t.Error("steal must take the oldest job")
+	}
+	if got := victim.PopJob(); got != j2 {
+		t.Error("victim keeps the newest job")
+	}
+}
+
+func TestPopSkipsTakenJobs(t *testing.T) {
+	w, _ := NewTestWorkerPair()
+	j1, j2 := NewTestJob(), NewTestJob()
+	w.PushJob(j1)
+	w.PushJob(j2)
+	if !j2.Take() {
+		t.Fatal("take failed")
+	}
+	if got := w.PopJob(); got != j1 {
+		t.Error("pop must discard jobs claimed elsewhere")
+	}
+	if w.PopJob() != nil {
+		t.Error("deque should be empty")
+	}
+}
+
+func TestStealSkipsTakenJobs(t *testing.T) {
+	victim, thief := NewTestWorkerPair()
+	j1, j2 := NewTestJob(), NewTestJob()
+	victim.PushJob(j1)
+	victim.PushJob(j2)
+	j1.Take()
+	if got := thief.StealJobFrom(victim); got != j2 {
+		t.Error("steal must discard claimed jobs")
+	}
+	if thief.StealJobFrom(victim) != nil {
+		t.Error("victim should be drained")
+	}
+}
+
+func TestTakeIsExclusive(t *testing.T) {
+	j := NewTestJob()
+	if !j.Take() {
+		t.Fatal("first take must succeed")
+	}
+	if j.Take() {
+		t.Fatal("second take must fail")
+	}
+}
+
+// TestConcurrentStealers hammers one victim deque from several thieves
+// and checks every job is obtained exactly once.
+func TestConcurrentStealers(t *testing.T) {
+	victim, _ := NewTestWorkerPair()
+	const n = 4096
+	jobs := make([]*job, n)
+	for i := range jobs {
+		jobs[i] = NewTestJob()
+		victim.PushJob(jobs[i])
+	}
+	var mu sync.Mutex
+	got := map[*job]int{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			thief, _ := NewTestWorkerPair()
+			_ = thief
+			for {
+				j := thief.StealJobFrom(victim)
+				if j == nil {
+					return
+				}
+				if j.Take() {
+					mu.Lock()
+					got[j]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("obtained %d of %d jobs", len(got), n)
+	}
+	for j, c := range got {
+		if c != 1 {
+			t.Fatalf("job %p obtained %d times", j, c)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package sched_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sforder/internal/sched"
+)
+
+// TestSingleWorkerParallelEngine: Workers=1 must execute everything
+// (inline draining and get-claiming keep it deadlock-free).
+func TestSingleWorkerParallelEngine(t *testing.T) {
+	var sum atomic.Int64
+	_, err := sched.Run(sched.Options{Workers: 1}, func(t *sched.Task) {
+		for i := 0; i < 10; i++ {
+			i := i
+			t.Spawn(func(*sched.Task) { sum.Add(int64(i)) })
+		}
+		h := t.Create(func(c *sched.Task) any {
+			c.Spawn(func(*sched.Task) { sum.Add(100) })
+			c.Sync()
+			return nil
+		})
+		t.Sync()
+		t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45+100 {
+		t.Errorf("sum = %d, want 145", sum.Load())
+	}
+}
+
+// TestPanicInsideFutureAbortsGetters: a panic in a future body must not
+// deadlock a parallel getter; the run surfaces the panic as an error.
+func TestPanicInsideFutureAbortsGetters(t *testing.T) {
+	_, err := sched.Run(sched.Options{Workers: 2}, func(t *sched.Task) {
+		h := t.Create(func(*sched.Task) any { panic("future boom") })
+		t.Get(h)
+	})
+	if err == nil || !strings.Contains(err.Error(), "future boom") {
+		t.Fatalf("expected future panic to surface, got %v", err)
+	}
+}
+
+// TestPanicWhileSiblingWaitsAtSync: one spawned child panics while the
+// parent waits at a sync for a stolen sibling.
+func TestPanicWhileSiblingWaitsAtSync(t *testing.T) {
+	_, err := sched.Run(sched.Options{Workers: 4}, func(t *sched.Task) {
+		for i := 0; i < 8; i++ {
+			i := i
+			t.Spawn(func(*sched.Task) {
+				if i == 3 {
+					panic("child boom")
+				}
+			})
+		}
+		t.Sync()
+	})
+	if err == nil || !strings.Contains(err.Error(), "child boom") {
+		t.Fatalf("expected child panic to surface, got %v", err)
+	}
+}
+
+// TestDeepNesting exercises deep spawn recursion (stack growth, block
+// lifecycle) without blowing up.
+func TestDeepNesting(t *testing.T) {
+	var depth func(*sched.Task, int) int
+	depth = func(t *sched.Task, d int) int {
+		if d == 0 {
+			return 0
+		}
+		var sub int
+		t.Spawn(func(c *sched.Task) { sub = depth(c, d-1) })
+		t.Sync()
+		return sub + 1
+	}
+	var got int
+	_, err := sched.Run(sched.Options{Workers: 2}, func(t *sched.Task) { got = depth(t, 2000) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2000 {
+		t.Errorf("depth = %d", got)
+	}
+}
+
+// TestManySequentialRegions: repeated spawn/sync cycles in one instance
+// produce one sync strand per region and keep counts exact.
+func TestManySequentialRegions(t *testing.T) {
+	const regions = 100
+	counts, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		for i := 0; i < regions; i++ {
+			t.Spawn(func(*sched.Task) {})
+			t.Sync()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts.Syncs != regions {
+		t.Errorf("Syncs = %d, want %d", counts.Syncs, regions)
+	}
+	if counts.Spawns != regions {
+		t.Errorf("Spawns = %d, want %d", counts.Spawns, regions)
+	}
+	// Strands: root + per region (child, cont, sync) = 1 + 3*regions.
+	if want := uint64(1 + 3*regions); counts.Strands != want {
+		t.Errorf("Strands = %d, want %d", counts.Strands, want)
+	}
+}
+
+// TestImplicitSyncAtFunctionEnd: spawned children are joined when the
+// instance returns without an explicit sync.
+func TestImplicitSyncAtFunctionEnd(t *testing.T) {
+	var done atomic.Bool
+	_, err := sched.Run(sched.Options{Workers: 2}, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) {
+			c.Spawn(func(*sched.Task) { done.Store(true) })
+			// no explicit Sync: the implicit one must join it
+		})
+		t.Sync()
+		if !done.Load() {
+			panic("grandchild not joined by implicit sync")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGetAfterSyncOfCreatingRegion: a future created before a sync is
+// still gettable after it (sync does not consume futures).
+func TestGetAfterSyncOfCreatingRegion(t *testing.T) {
+	_, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		h := t.Create(func(*sched.Task) any { return 5 })
+		t.Spawn(func(*sched.Task) {})
+		t.Sync()
+		if got := t.Get(h).(int); got != 5 {
+			panic("wrong value")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValuesThroughFutures passes composite values through futures.
+func TestValuesThroughFutures(t *testing.T) {
+	type pair struct{ a, b int }
+	_, err := sched.Run(sched.Options{Workers: 2}, func(t *sched.Task) {
+		h := t.Create(func(*sched.Task) any { return pair{1, 2} })
+		hs := t.Create(func(*sched.Task) any { return "str" })
+		hn := t.Create(func(*sched.Task) any { return nil })
+		if p := t.Get(h).(pair); p.a != 1 || p.b != 2 {
+			panic("pair lost")
+		}
+		if s := t.Get(hs).(string); s != "str" {
+			panic("string lost")
+		}
+		if v := t.Get(hn); v != nil {
+			panic("nil lost")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package sched
+
+// Test-only exports for whitebox tests of the scheduler internals.
+
+// NewTestWorkerPair returns two workers of a throwaway engine, for
+// exercising deque push/pop/steal mechanics directly.
+func NewTestWorkerPair() (*worker, *worker) {
+	e := &engine{abortCh: make(chan struct{})}
+	w1 := &worker{eng: e, id: 0}
+	w2 := &worker{eng: e, id: 1}
+	e.workers = []*worker{w1, w2}
+	return w1, w2
+}
+
+// NewTestJob returns a claimable no-op job.
+func NewTestJob() *job { return &job{} }
+
+// PushJob exposes worker.push.
+func (w *worker) PushJob(j *job) { w.push(j) }
+
+// PopJob exposes worker.pop.
+func (w *worker) PopJob() *job { return w.pop() }
+
+// StealJobFrom exposes worker.stealFrom.
+func (w *worker) StealJobFrom(v *worker) *job { return w.stealFrom(v) }
+
+// Take exposes job.take.
+func (j *job) Take() bool { return j.take() }
+
+// DequeLen reports the current deque length.
+func (w *worker) DequeLen() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.deque)
+}

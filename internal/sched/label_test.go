@@ -1,0 +1,70 @@
+package sched_test
+
+import (
+	"testing"
+
+	"sforder/internal/sched"
+)
+
+func TestLabelTagsCurrentAndLaterStrands(t *testing.T) {
+	var first, cont, afterSync, inChild *sched.Strand
+	_, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		t.Label("setup")
+		first = t.Strand()
+		t.Spawn(func(c *sched.Task) { inChild = c.Strand() })
+		cont = t.Strand()
+		t.Sync()
+		afterSync = t.Strand()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Label() != "setup" {
+		t.Errorf("current strand label = %q", first.Label())
+	}
+	if cont.Label() != "setup" || afterSync.Label() != "setup" {
+		t.Errorf("continuation/sync labels = %q/%q, want inherited",
+			cont.Label(), afterSync.Label())
+	}
+	if inChild.Label() != "" {
+		t.Errorf("child starts unlabeled, got %q", inChild.Label())
+	}
+}
+
+func TestRelabel(t *testing.T) {
+	var ended, current, b *sched.Strand
+	_, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		t.Label("phase1")
+		ended = t.Strand() // ends at the Create below
+		h := t.Create(func(*sched.Task) any { return nil })
+		current = t.Strand()
+		t.Label("phase2") // retags the current strand and later ones
+		t.Get(h)
+		b = t.Strand()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ended.Label() != "phase1" {
+		t.Errorf("ended strand = %q, must keep its label", ended.Label())
+	}
+	if current.Label() != "phase2" {
+		t.Errorf("current strand = %q, Label retags the current strand", current.Label())
+	}
+	if b.Label() != "phase2" {
+		t.Errorf("b = %q (get strand should carry the new label)", b.Label())
+	}
+}
+
+func TestEmptyLabelIsNoop(t *testing.T) {
+	_, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		t.Label("x")
+		t.Label("")
+		if t.Strand().Label() != "x" {
+			panic("empty Label must not clear an existing label")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

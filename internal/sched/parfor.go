@@ -1,0 +1,47 @@
+package sched
+
+// ParallelFor runs body(i) for every i in [lo, hi) with fork-join
+// parallelism, recursively splitting the range into a balanced spawn
+// tree with grain iterations per leaf (grain ≤ 0 selects a grain that
+// yields roughly 8 leaves per worker). The call returns when every
+// iteration has finished — it is a self-contained sync region and does
+// not interact with the caller's pending spawns or futures.
+//
+// Iterations may run in any order and concurrently; racy bodies are
+// exactly what the detectors attached to the run will report.
+func (t *Task) ParallelFor(lo, hi, grain int, body func(t *Task, i int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		workers := 1
+		if !t.eng.opts.Serial {
+			workers = len(t.eng.workers)
+		}
+		grain = (hi - lo) / (8 * workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	// Run the range inside a future and get it immediately: the get
+	// joins exactly this loop, leaving the caller's own pending spawns
+	// and futures untouched (a Sync here would join those too).
+	h := t.Create(func(c *Task) any {
+		c.parforRange(lo, hi, grain, body)
+		return nil
+	})
+	t.Get(h)
+}
+
+func (t *Task) parforRange(lo, hi, grain int, body func(t *Task, i int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		left, leftEnd := lo, mid
+		t.Spawn(func(c *Task) { c.parforRange(left, leftEnd, grain, body) })
+		lo = mid
+	}
+	for i := lo; i < hi; i++ {
+		body(t, i)
+	}
+	t.Sync()
+}

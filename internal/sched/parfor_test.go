@@ -1,0 +1,110 @@
+package sched_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sforder/internal/sched"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, serial := range []bool{true, false} {
+		const n = 1000
+		var hits [n]atomic.Int32
+		_, err := sched.Run(sched.Options{Serial: serial, Workers: 4}, func(t *sched.Task) {
+			t.ParallelFor(0, n, 0, func(_ *sched.Task, i int) {
+				hits[i].Add(1)
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("serial=%v: iteration %d ran %d times", serial, i, got)
+			}
+		}
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	var count atomic.Int32
+	_, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		t.ParallelFor(5, 5, 0, func(*sched.Task, int) { count.Add(1) })
+		t.ParallelFor(7, 5, 0, func(*sched.Task, int) { count.Add(1) })
+		t.ParallelFor(3, 4, 0, func(*sched.Task, int) { count.Add(1) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1 {
+		t.Fatalf("count = %d, want 1", count.Load())
+	}
+}
+
+// TestParallelForDoesNotJoinCallersSpawns: the loop must not act as a
+// sync for unrelated pending children.
+func TestParallelForDoesNotJoinCallersSpawns(t *testing.T) {
+	var slowDone atomic.Bool
+	block := make(chan struct{})
+	_, err := sched.Run(sched.Options{Workers: 4}, func(t *sched.Task) {
+		t.Spawn(func(*sched.Task) {
+			<-block
+			slowDone.Store(true)
+		})
+		t.ParallelFor(0, 64, 4, func(*sched.Task, int) {})
+		if slowDone.Load() {
+			panic("ParallelFor joined an unrelated spawned child")
+		}
+		close(block)
+		t.Sync()
+		if !slowDone.Load() {
+			panic("Sync failed to join the child")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelForGrainBoundsLeaves: an explicit grain caps per-leaf work.
+func TestParallelForGrainBoundsLeaves(t *testing.T) {
+	counts, err := sched.Run(sched.Options{Serial: true}, func(t *sched.Task) {
+		t.ParallelFor(0, 256, 16, func(*sched.Task, int) {})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256/16 = 16 leaves → 15 splits (spawns) + 1 create.
+	if counts.Spawns != 15 {
+		t.Errorf("spawns = %d, want 15", counts.Spawns)
+	}
+	if counts.Futures != 2 {
+		t.Errorf("futures = %d, want 2 (root + loop future)", counts.Futures)
+	}
+}
+
+// TestParallelForNested: nested parallel loops work and produce a
+// deterministic iteration count.
+func TestParallelForNested(t *testing.T) {
+	var total atomic.Int64
+	_, err := sched.Run(sched.Options{Workers: 3}, func(t *sched.Task) {
+		t.ParallelFor(0, 20, 2, func(ti *sched.Task, i int) {
+			ti.ParallelFor(0, 30, 4, func(_ *sched.Task, j int) {
+				total.Add(int64(i*30 + j))
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 30; j++ {
+			want += int64(i*30 + j)
+		}
+	}
+	if total.Load() != want {
+		t.Errorf("total = %d, want %d", total.Load(), want)
+	}
+}

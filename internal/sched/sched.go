@@ -1,0 +1,499 @@
+// Package sched is a task-parallel runtime with fork-join and structured
+// future parallelism — the substrate the race detectors instrument. It
+// stands in for the extended Cilk-F work-stealing runtime used by the
+// paper (§4): user code expresses parallelism with Spawn/Sync (fork-join)
+// and Create/Get (futures), and the engine executes it either serially
+// (the left-to-right depth-first traversal, required by the MultiBags
+// baseline) or in parallel with per-worker deques and random work
+// stealing.
+//
+// The engine reports every dag-construction event to a Tracer — the hook
+// the reachability components (SF-Order, F-Order, MultiBags, the dag
+// recorder) listen on — and every instrumented memory access to an
+// AccessChecker (the full race detectors). Running with a nil Tracer and
+// nil AccessChecker gives the uninstrumented baseline; Tracer-only is the
+// paper's "reach" configuration; both is "full".
+//
+// # Strands and events
+//
+// A Strand is a dag node: a maximal run of instructions with no parallel
+// control. Executing spawn ends the current strand u and begins two new
+// strands — the child's first strand and the spawner's continuation.
+// Executing create does the same and additionally begins a new future
+// task. Executing sync ends the current strand and begins the sync
+// strand, which joins all children spawned since the previous sync.
+// Executing get ends the current strand and begins the get strand, which
+// additionally has an incoming edge from the gotten future's put strand.
+//
+// Each sync region's join strand is allocated eagerly at the first
+// spawn/create of the region and handed to the Tracer as the placeholder:
+// the SF-Order order-maintenance lists must place it before the child
+// subdags grow (see internal/core). In the paper's model the root
+// computation is itself future task 0, and every function instance ends
+// with an implicit sync.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Strand is one node of the computation dag. The engine allocates
+// strands; detectors hang their per-node state off Det and the dag
+// recorder off Rec. A Strand's identity is its pointer; ID is a dense
+// ordinal for logging and hashing.
+type Strand struct {
+	ID  uint64
+	Fut *FutureTask // future task (SP sub-dag) owning this strand
+	Det any         // detector payload (owned by the configured Tracer)
+	Rec any         // recorder payload (owned by the dag recorder)
+	Aux any         // auxiliary payload (owned by AccessChecker wrappers)
+
+	label atomic.Pointer[string] // optional user label, see Task.Label
+}
+
+// Label returns the user label attached to the strand's region, or "".
+func (s *Strand) Label() string {
+	if p := s.label.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (s *Strand) setLabel(l string) {
+	if l == "" {
+		return
+	}
+	s.label.Store(&l)
+}
+
+func (s *Strand) String() string {
+	if s == nil {
+		return "<nil strand>"
+	}
+	return fmt.Sprintf("s%d/f%d", s.ID, s.Fut.ID)
+}
+
+// FutureTask identifies one future task: the root computation (ID 0) or
+// a task started with Create. Each future task is a series-parallel
+// sub-dag of the whole SF-dag.
+type FutureTask struct {
+	ID     int
+	Parent *FutureTask // creating future task, nil for the root
+	Det    any         // detector payload (e.g. SF-Order's cp bitmap)
+
+	last   *Strand // put strand, set when the task completes
+	value  any
+	done   chan struct{}
+	gotten atomic.Bool
+	job    *job // the task's schedulable body, claimable by Get
+}
+
+// Last returns the task's put strand (nil until the task completes).
+func (f *FutureTask) Last() *Strand { return f.last }
+
+// Future is the user-visible handle returned by Task.Create.
+type Future struct{ ft *FutureTask }
+
+// Task returns the underlying future task metadata, for detectors and
+// tests.
+func (f *Future) Task() *FutureTask { return f.ft }
+
+// Tracer observes dag construction. The engine may invoke it from
+// multiple workers concurrently, but guarantees per-strand ordering: the
+// event introducing a strand happens-before any event or access naming
+// it, and OnSync observes all child sinks of the joined region.
+//
+// placeholder is non-nil on the first OnSpawn/OnCreate of a sync region:
+// it is the join strand that a later OnSync (explicit or implicit)
+// activates.
+type Tracer interface {
+	OnRoot(root *Strand)
+	OnSpawn(u, child, cont, placeholder *Strand)
+	OnCreate(u, first, cont, placeholder *Strand, f *FutureTask)
+	OnSync(k, s *Strand, childSinks []*Strand)
+	OnReturn(sink *Strand)
+	OnPut(sink *Strand, f *FutureTask)
+	OnGet(u, g *Strand, f *FutureTask)
+}
+
+// AccessChecker observes instrumented memory accesses (the full race
+// detection configuration).
+type AccessChecker interface {
+	Read(s *Strand, addr uint64)
+	Write(s *Strand, addr uint64)
+}
+
+// MultiTracer fans events out to several tracers in order.
+type MultiTracer []Tracer
+
+func (m MultiTracer) OnRoot(root *Strand) {
+	for _, t := range m {
+		t.OnRoot(root)
+	}
+}
+func (m MultiTracer) OnSpawn(u, child, cont, placeholder *Strand) {
+	for _, t := range m {
+		t.OnSpawn(u, child, cont, placeholder)
+	}
+}
+func (m MultiTracer) OnCreate(u, first, cont, placeholder *Strand, f *FutureTask) {
+	for _, t := range m {
+		t.OnCreate(u, first, cont, placeholder, f)
+	}
+}
+func (m MultiTracer) OnSync(k, s *Strand, childSinks []*Strand) {
+	for _, t := range m {
+		t.OnSync(k, s, childSinks)
+	}
+}
+func (m MultiTracer) OnReturn(sink *Strand) {
+	for _, t := range m {
+		t.OnReturn(sink)
+	}
+}
+func (m MultiTracer) OnPut(sink *Strand, f *FutureTask) {
+	for _, t := range m {
+		t.OnPut(sink, f)
+	}
+}
+func (m MultiTracer) OnGet(u, g *Strand, f *FutureTask) {
+	for _, t := range m {
+		t.OnGet(u, g, f)
+	}
+}
+
+// Options configures Run.
+type Options struct {
+	// Workers is the number of worker goroutines for the parallel
+	// engine; 0 means runtime.GOMAXPROCS(0). Ignored when Serial.
+	Workers int
+	// Serial selects the sequential left-to-right depth-first executor
+	// (the execution order MultiBags requires).
+	Serial bool
+	// Tracer receives dag-construction events; nil disables tracing
+	// (the "base" configuration).
+	Tracer Tracer
+	// Checker receives instrumented memory accesses; nil disables them
+	// (the "base" and "reach" configurations).
+	Checker AccessChecker
+	// CountAccesses enables the read/write counters (Figure 3
+	// characterization runs). Off by default so baseline timing runs pay
+	// no per-access atomic cost.
+	CountAccesses bool
+}
+
+// Counts are cheap engine-side execution statistics (Figure 3).
+type Counts struct {
+	Strands uint64 // dag nodes
+	Futures uint64 // future tasks, root included
+	Spawns  uint64
+	Syncs   uint64 // materialized sync strands, implicit ones included
+	Gets    uint64
+	Reads   uint64 // instrumented reads
+	Writes  uint64 // instrumented writes
+}
+
+// ErrAborted is returned by Run when a worker panicked; the panic value
+// is wrapped into the returned error.
+var ErrAborted = errors.New("sched: execution aborted")
+
+// errAbortUnwind is panicked internally to unwind blocked tasks after an
+// abort; runJob swallows it.
+type errAbortUnwind struct{}
+
+type engine struct {
+	opts    Options
+	tracer  Tracer
+	checker AccessChecker
+
+	strandID atomic.Uint64
+	futureID atomic.Int64
+
+	cStrands, cFutures, cSpawns, cSyncs, cGets, cReads, cWrites atomic.Uint64
+
+	workers []*worker
+	pending atomic.Int64 // unfinished jobs
+
+	abortOnce sync.Once
+	abortCh   chan struct{}
+	abortErr  atomic.Value // error
+}
+
+// Run executes main under the given options and returns the engine
+// counts. A non-nil error means a worker panicked (parallel mode); in
+// serial mode panics propagate to the caller.
+func Run(opts Options, main func(*Task)) (Counts, error) {
+	e := &engine{
+		opts:    opts,
+		tracer:  opts.Tracer,
+		checker: opts.Checker,
+		abortCh: make(chan struct{}),
+	}
+	rootFut := e.newFuture(nil)
+	rootStrand := e.newStrand(rootFut)
+	if e.tracer != nil {
+		e.tracer.OnRoot(rootStrand)
+	}
+	rootTask := &Task{
+		eng:          e,
+		fut:          rootFut,
+		cur:          rootStrand,
+		frame:        &frame{},
+		body:         main,
+		isFutureBody: true,
+	}
+
+	if opts.Serial {
+		e.runBody(rootTask, nil)
+		return e.countsSnapshot(), nil
+	}
+
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	for i := 0; i < w; i++ {
+		e.workers = append(e.workers, &worker{eng: e, id: i, rng: rand.New(rand.NewSource(int64(i + 1)))})
+	}
+	e.pending.Store(1)
+	e.workers[0].push(&job{task: rootTask})
+
+	var wg sync.WaitGroup
+	for _, wk := range e.workers {
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			wk.loop()
+		}(wk)
+	}
+	wg.Wait()
+	if err, ok := e.abortErr.Load().(error); ok && err != nil {
+		return e.countsSnapshot(), err
+	}
+	return e.countsSnapshot(), nil
+}
+
+func (e *engine) countsSnapshot() Counts {
+	return Counts{
+		Strands: e.cStrands.Load(),
+		Futures: e.cFutures.Load(),
+		Spawns:  e.cSpawns.Load(),
+		Syncs:   e.cSyncs.Load(),
+		Gets:    e.cGets.Load(),
+		Reads:   e.cReads.Load(),
+		Writes:  e.cWrites.Load(),
+	}
+}
+
+func (e *engine) newStrand(f *FutureTask) *Strand {
+	e.cStrands.Add(1)
+	return &Strand{ID: e.strandID.Add(1) - 1, Fut: f}
+}
+
+func (e *engine) newFuture(parent *FutureTask) *FutureTask {
+	e.cFutures.Add(1)
+	return &FutureTask{
+		ID:     int(e.futureID.Add(1) - 1),
+		Parent: parent,
+		done:   make(chan struct{}),
+	}
+}
+
+func (e *engine) abort(v any) {
+	e.abortOnce.Do(func() {
+		e.abortErr.Store(fmt.Errorf("%w: %v", ErrAborted, v))
+		close(e.abortCh)
+	})
+}
+
+func (e *engine) aborted() bool {
+	select {
+	case <-e.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// frame is one function instance: the root body, a spawned child body,
+// or a future task body. It tracks the current sync region.
+type frame struct {
+	block *syncBlock
+}
+
+// syncBlock is a sync region: the spawns/creates since the last sync of
+// one function instance.
+type syncBlock struct {
+	mu          sync.Mutex
+	placeholder *Strand // the join strand, allocated at first branch
+	spawned     bool    // a spawn (not just creates) occurred in region
+	outstanding int     // spawned children not yet returned
+	children    []*job  // spawned child jobs, for inline draining
+	childSinks  []*Strand
+	waitCh      chan struct{}
+}
+
+// job is a schedulable unit: the root body, a spawned child body, or a
+// future task body, all described by their pre-built Task context.
+type job struct {
+	state atomic.Int32 // 0 pending, 1 taken
+	task  *Task
+}
+
+func (j *job) take() bool { return j.state.CompareAndSwap(0, 1) }
+
+// worker executes jobs from its own deque, stealing when empty.
+type worker struct {
+	eng *engine
+	id  int
+	rng *rand.Rand
+
+	mu    sync.Mutex
+	deque []*job // bottom (newest) = end of slice
+}
+
+func (w *worker) push(j *job) {
+	w.mu.Lock()
+	w.deque = append(w.deque, j)
+	w.mu.Unlock()
+}
+
+// pop removes the newest pending job from the bottom of the deque,
+// discarding jobs already taken elsewhere (inline drains, get claims).
+func (w *worker) pop() *job {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.deque) > 0 {
+		j := w.deque[len(w.deque)-1]
+		w.deque = w.deque[:len(w.deque)-1]
+		if j.state.Load() == 0 {
+			return j
+		}
+	}
+	return nil
+}
+
+// stealFrom removes the oldest pending job from the top of v's deque.
+func (w *worker) stealFrom(v *worker) *job {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.deque) > 0 {
+		j := v.deque[0]
+		v.deque = v.deque[1:]
+		if j.state.Load() == 0 {
+			return j
+		}
+	}
+	return nil
+}
+
+func (w *worker) findWork() *job {
+	if j := w.pop(); j != nil {
+		return j
+	}
+	n := len(w.eng.workers)
+	off := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.eng.workers[(off+i)%n]
+		if v == w {
+			continue
+		}
+		if j := w.stealFrom(v); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+func (w *worker) loop() {
+	e := w.eng
+	idle := 0
+	for {
+		if e.aborted() {
+			return
+		}
+		j := w.findWork()
+		if j == nil {
+			if e.pending.Load() == 0 {
+				return
+			}
+			idle++
+			if idle > 64 {
+				time.Sleep(20 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		if j.take() {
+			w.runJob(j)
+		}
+	}
+}
+
+// runJob executes a claimed job on this worker, converting panics into
+// an engine abort (the internal unwind sentinel excepted).
+func (w *worker) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(errAbortUnwind); !ok {
+				w.eng.abort(r)
+			}
+		}
+		w.eng.pending.Add(-1)
+	}()
+	w.eng.runBody(j.task, w)
+}
+
+// runInline executes a job synchronously on the current worker (inline
+// drain at sync, or a get claiming an unstarted future). Panics
+// propagate: the enclosing runJob converts them.
+func (e *engine) runInline(j *job, w *worker) {
+	defer e.pending.Add(-1)
+	e.runBody(j.task, w)
+}
+
+// runBody runs one function instance to completion: body, implicit sync,
+// then sink bookkeeping (put for future tasks including the root,
+// return-join for spawned children).
+func (e *engine) runBody(t *Task, w *worker) {
+	t.worker = w
+	if t.bodyV != nil {
+		t.retval = t.bodyV(t)
+	} else if t.body != nil {
+		t.body(t)
+	}
+	sink := t.implicitSync()
+
+	if t.isFutureBody {
+		f := t.fut
+		f.value = t.retval
+		f.last = sink
+		if e.tracer != nil {
+			e.tracer.OnPut(sink, f)
+		}
+		close(f.done)
+		return
+	}
+
+	// Spawned child: join the parent's sync region.
+	if e.tracer != nil {
+		e.tracer.OnReturn(sink)
+	}
+	b := t.parentBlock
+	b.mu.Lock()
+	b.childSinks = append(b.childSinks, sink)
+	b.outstanding--
+	if b.outstanding == 0 && b.waitCh != nil {
+		close(b.waitCh)
+		b.waitCh = nil
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,271 @@
+package sched
+
+import "fmt"
+
+// Task is the execution context of one function instance (the root body,
+// a spawned child, or a future task body). User code receives a *Task
+// and expresses parallelism through its methods. A Task must only be
+// used by the function instance it was passed to; capturing it inside a
+// spawned or created child is a programming error (children receive
+// their own).
+type Task struct {
+	eng    *engine
+	fut    *FutureTask
+	frame  *frame
+	cur    *Strand
+	worker *worker
+
+	body  func(*Task)
+	bodyV func(*Task) any
+
+	retval       any
+	isFutureBody bool       // future-task body (root included)
+	parentBlock  *syncBlock // spawned children: region to join on return
+	label        string     // inherited by strands this instance creates
+}
+
+// Label tags the current strand and all later strands of this function
+// instance (until relabeled) with a human-readable name that race
+// reports include. Child instances start unlabeled.
+func (t *Task) Label(name string) {
+	t.label = name
+	t.cur.setLabel(name)
+}
+
+// Strand returns the currently executing strand. Detector tests use it
+// to name dag positions; workloads normally don't need it.
+func (t *Task) Strand() *Strand { return t.cur }
+
+// FutureTask returns the future task that owns the current strand.
+func (t *Task) FutureTask() *FutureTask { return t.fut }
+
+// ensureBlock returns the current sync region, opening one (and
+// allocating its join placeholder strand) at the first spawn/create of
+// the region. The second return value is the placeholder when it was
+// freshly allocated, else nil — exactly what the Tracer expects.
+func (t *Task) ensureBlock() (*syncBlock, *Strand) {
+	if b := t.frame.block; b != nil {
+		return b, nil
+	}
+	b := &syncBlock{placeholder: t.eng.newStrand(t.fut)}
+	t.frame.block = b
+	return b, b.placeholder
+}
+
+// Spawn forks fn as a child function instance that may run in parallel
+// with the continuation of the caller. The child is joined by the next
+// Sync (or the implicit sync at the end of the calling function
+// instance).
+func (t *Task) Spawn(fn func(*Task)) {
+	e := t.eng
+	e.cSpawns.Add(1)
+	u := t.cur
+	b, placeholder := t.ensureBlock()
+	child := e.newStrand(t.fut)
+	cont := e.newStrand(t.fut)
+	cont.setLabel(t.label)
+	if e.tracer != nil {
+		e.tracer.OnSpawn(u, child, cont, placeholder)
+	}
+	j := &job{task: &Task{
+		eng:         e,
+		fut:         t.fut,
+		frame:       &frame{},
+		cur:         child,
+		body:        fn,
+		parentBlock: b,
+	}}
+	b.mu.Lock()
+	b.spawned = true
+	b.outstanding++
+	b.children = append(b.children, j)
+	b.mu.Unlock()
+	e.pending.Add(1)
+	t.cur = cont
+	if e.opts.Serial {
+		if j.take() {
+			e.runInline(j, nil)
+		}
+		return
+	}
+	t.worker.push(j)
+}
+
+// Sync waits until all children spawned since the previous Sync have
+// returned. Futures started with Create are not affected (their
+// completion is awaited by Get). A Sync with no preceding spawns in the
+// region is a no-op.
+func (t *Task) Sync() {
+	b := t.frame.block
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	spawned := b.spawned
+	b.mu.Unlock()
+	if !spawned {
+		// Only creates so far: the real dag has nothing to join, and
+		// the region stays open so the placeholder keeps standing in
+		// for the pseudo-SP-dag join of those futures.
+		return
+	}
+	t.closeRegion(b)
+}
+
+// closeRegion drains and joins the sync region and steps the task onto
+// its join strand.
+func (t *Task) closeRegion(b *syncBlock) {
+	e := t.eng
+	e.drainAndWait(b, t.worker)
+	k := t.cur
+	s := b.placeholder
+	s.setLabel(t.label)
+	e.cSyncs.Add(1)
+	if e.tracer != nil {
+		e.tracer.OnSync(k, s, b.childSinks)
+	}
+	t.frame.block = nil
+	t.cur = s
+}
+
+// drainAndWait first runs not-yet-started spawned children of the region
+// inline on the current worker (the child-stealing discipline), then
+// blocks until children stolen by other workers have returned.
+func (e *engine) drainAndWait(b *syncBlock, w *worker) {
+	for {
+		b.mu.Lock()
+		var j *job
+		if n := len(b.children); n > 0 {
+			j = b.children[n-1]
+			b.children = b.children[:n-1]
+		}
+		b.mu.Unlock()
+		if j == nil {
+			break
+		}
+		if j.take() {
+			e.runInline(j, w)
+		}
+	}
+	b.mu.Lock()
+	for b.outstanding > 0 {
+		if b.waitCh == nil {
+			b.waitCh = make(chan struct{})
+		}
+		ch := b.waitCh
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-e.abortCh:
+			panic(errAbortUnwind{})
+		}
+		b.mu.Lock()
+	}
+	b.mu.Unlock()
+}
+
+// Create starts fn as a new future task that may run in parallel with
+// the continuation of the caller and returns its handle. The handle must
+// be touched by Get at most once (single-touch), and only at program
+// points sequentially after the Create — the structured-future
+// restrictions (paper §2). Create's value is retrieved by Get.
+func (t *Task) Create(fn func(*Task) any) *Future {
+	e := t.eng
+	u := t.cur
+	_, placeholder := t.ensureBlock()
+	ft := e.newFuture(t.fut)
+	first := e.newStrand(ft)
+	cont := e.newStrand(t.fut)
+	cont.setLabel(t.label)
+	if e.tracer != nil {
+		e.tracer.OnCreate(u, first, cont, placeholder, ft)
+	}
+	j := &job{task: &Task{
+		eng:          e,
+		fut:          ft,
+		frame:        &frame{},
+		cur:          first,
+		bodyV:        fn,
+		isFutureBody: true,
+	}}
+	ft.job = j
+	e.pending.Add(1)
+	t.cur = cont
+	if e.opts.Serial {
+		if j.take() {
+			e.runInline(j, nil)
+		}
+	} else {
+		t.worker.push(j)
+	}
+	return &Future{ft: ft}
+}
+
+// Get waits for the future to complete and returns its value. If the
+// future task has not started yet, the calling worker claims and runs it
+// inline, so Get never deadlocks. Touching a handle twice panics: it
+// violates the single-touch restriction of structured futures.
+func (t *Task) Get(f *Future) any {
+	e := t.eng
+	e.cGets.Add(1)
+	ft := f.ft
+	if !ft.gotten.CompareAndSwap(false, true) {
+		panic(fmt.Sprintf("sched: future %d touched twice (single-touch violated)", ft.ID))
+	}
+	select {
+	case <-ft.done:
+	default:
+		if ft.job.take() {
+			e.runInline(ft.job, t.worker)
+		} else {
+			select {
+			case <-ft.done:
+			case <-e.abortCh:
+				panic(errAbortUnwind{})
+			}
+		}
+	}
+	u := t.cur
+	g := e.newStrand(t.fut)
+	g.setLabel(t.label)
+	if e.tracer != nil {
+		e.tracer.OnGet(u, g, ft)
+	}
+	t.cur = g
+	return ft.value
+}
+
+// implicitSync ends a function instance: it joins the open sync region
+// (if any) and returns the instance's sink strand.
+func (t *Task) implicitSync() *Strand {
+	b := t.frame.block
+	if b == nil {
+		return t.cur
+	}
+	t.closeRegion(b)
+	return t.cur
+}
+
+// Read records an instrumented read of the shadow address addr by the
+// current strand.
+func (t *Task) Read(addr uint64) {
+	e := t.eng
+	if e.opts.CountAccesses {
+		e.cReads.Add(1)
+	}
+	if e.checker != nil {
+		e.checker.Read(t.cur, addr)
+	}
+}
+
+// Write records an instrumented write of the shadow address addr by the
+// current strand.
+func (t *Task) Write(addr uint64) {
+	e := t.eng
+	if e.opts.CountAccesses {
+		e.cWrites.Add(1)
+	}
+	if e.checker != nil {
+		e.checker.Write(t.cur, addr)
+	}
+}

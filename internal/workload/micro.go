@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"sforder/internal/sched"
+)
+
+// Chain returns a microbenchmark of k chained futures, each getting its
+// predecessor and doing `work` instrumented accesses. It isolates the
+// O(k²) reachability-construction term of the SF-Order and F-Order
+// bounds: with work held constant, detector time should grow
+// quadratically in k (every future's cp bitmap copy is Θ(k) words — for
+// SF-Order 1 bit per future, for F-Order a table entry), while base time
+// grows linearly.
+func Chain(k, work int) *Benchmark {
+	if k < 1 || work < 1 {
+		panic(fmt.Sprintf("workload: Chain bad params k=%d work=%d", k, work))
+	}
+	return &Benchmark{
+		Name: "chain",
+		Desc: "k chained futures (k² construction-term probe)",
+		N:    k,
+		B:    work,
+		Make: func() *Run { return newChainRun(k, work) },
+	}
+}
+
+func newChainRun(k, work int) *Run {
+	total := 0
+	return &Run{
+		Main: func(t *sched.Task) {
+			prev := t.Create(func(c *sched.Task) any {
+				for i := 0; i < work; i++ {
+					c.Read(uint64(i))
+				}
+				c.Write(0)
+				return 1
+			})
+			for f := 1; f < k; f++ {
+				p := prev
+				prev = t.Create(func(c *sched.Task) any {
+					v := c.Get(p).(int)
+					for i := 0; i < work; i++ {
+						c.Read(uint64(i))
+					}
+					c.Write(0)
+					return v + 1
+				})
+			}
+			total = t.Get(prev).(int)
+		},
+		Verify: func() error {
+			if total != k {
+				return fmt.Errorf("chain: total = %d, want %d", total, k)
+			}
+			return nil
+		},
+	}
+}
+
+// Fib returns the classic fork-join fib(n) microbenchmark with one
+// instrumented access per call — a pure spawn/sync workload with zero
+// futures, isolating the fork-join path of the detectors (where
+// SF-Order's machinery must degenerate to plain WSP-Order costs).
+func Fib(n int) *Benchmark {
+	if n < 1 || n > 35 {
+		panic(fmt.Sprintf("workload: Fib bad param n=%d", n))
+	}
+	return &Benchmark{
+		Name: "fib",
+		Desc: "fork-join fib (no futures)",
+		N:    n,
+		Make: func() *Run { return newFibRun(n) },
+	}
+}
+
+func fibRef(n int) int {
+	if n < 2 {
+		return n
+	}
+	return fibRef(n-1) + fibRef(n-2)
+}
+
+func newFibRun(n int) *Run {
+	got := 0
+	var fib func(t *sched.Task, n, addr int) int
+	fib = func(t *sched.Task, n, addr int) int {
+		t.Read(uint64(addr))
+		if n < 2 {
+			return n
+		}
+		var a int
+		t.Spawn(func(c *sched.Task) { a = fib(c, n-1, 2*addr+1) })
+		b := fib(t, n-2, 2*addr+2)
+		t.Sync()
+		return a + b
+	}
+	return &Run{
+		Main: func(t *sched.Task) { got = fib(t, n, 0) },
+		Verify: func() error {
+			if want := fibRef(n); got != want {
+				return fmt.Errorf("fib: got %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sforder/internal/sched"
+)
+
+// MM returns divide-and-conquer matrix multiplication C = A·B on n×n
+// int64 matrices with base-case size b (n and b powers of two, b ≤ n).
+//
+// Each recursive step computes the eight quadrant products in two groups
+// of four: the first group runs as created futures (gotten before the
+// second group may accumulate into the same C quadrants), the second as
+// spawned children joined by a sync — the mixed fork-join + structured
+// future style of the paper's mm benchmark.
+func MM(n, b int) *Benchmark {
+	if n&(n-1) != 0 || b&(b-1) != 0 || b > n || b < 2 {
+		panic(fmt.Sprintf("workload: MM requires power-of-two sizes, got n=%d b=%d", n, b))
+	}
+	return &Benchmark{
+		Name: "mm",
+		Desc: "divide-and-conquer matrix multiplication",
+		N:    n,
+		B:    b,
+		Make: func() *Run { return newMMRun(n, b) },
+	}
+}
+
+// mmState carries the matrices and their shadow address bases.
+type mmState struct {
+	n, b     int
+	a, bm, c []int64
+	// shadow bases: a at 0, b at n², c at 2n².
+}
+
+func newMMRun(n, b int) *Run {
+	st := &mmState{
+		n: n, b: b,
+		a:  make([]int64, n*n),
+		bm: make([]int64, n*n),
+		c:  make([]int64, n*n),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := range st.a {
+		st.a[i] = int64(rng.Intn(7)) - 3
+		st.bm[i] = int64(rng.Intn(7)) - 3
+	}
+	return &Run{
+		Main:   func(t *sched.Task) { st.mul(t, 0, 0, 0, 0, 0, 0, n) },
+		Verify: st.verify,
+	}
+}
+
+func (m *mmState) addrA(r, c int) uint64 { return uint64(r*m.n + c) }
+func (m *mmState) addrB(r, c int) uint64 { return uint64(m.n*m.n + r*m.n + c) }
+func (m *mmState) addrC(r, c int) uint64 { return uint64(2*m.n*m.n + r*m.n + c) }
+
+// mul computes C[cr:cr+n, cc:cc+n] += A[ar.., ..] · B[br.., ..].
+func (m *mmState) mul(t *sched.Task, ar, ac, br, bc, cr, cc, n int) {
+	if n <= m.b {
+		m.base(t, ar, ac, br, bc, cr, cc, n)
+		return
+	}
+	h := n / 2
+	// Group 1: the four products that touch disjoint C quadrants, as
+	// futures.
+	type q struct{ ar, ac, br, bc, cr, cc int }
+	g1 := []q{
+		{ar, ac, br, bc, cr, cc},                 // C11 += A11·B11
+		{ar, ac, br, bc + h, cr, cc + h},         // C12 += A11·B12
+		{ar + h, ac, br, bc, cr + h, cc},         // C21 += A21·B11
+		{ar + h, ac, br, bc + h, cr + h, cc + h}, // C22 += A21·B12
+	}
+	var hs []*sched.Future
+	for _, p := range g1 {
+		p := p
+		hs = append(hs, t.Create(func(c *sched.Task) any {
+			m.mul(c, p.ar, p.ac, p.br, p.bc, p.cr, p.cc, h)
+			return nil
+		}))
+	}
+	for _, f := range hs {
+		t.Get(f)
+	}
+	// Group 2: the four products accumulating into the same quadrants,
+	// as spawned children.
+	g2 := []q{
+		{ar, ac + h, br + h, bc, cr, cc},                 // C11 += A12·B21
+		{ar, ac + h, br + h, bc + h, cr, cc + h},         // C12 += A12·B22
+		{ar + h, ac + h, br + h, bc, cr + h, cc},         // C21 += A22·B21
+		{ar + h, ac + h, br + h, bc + h, cr + h, cc + h}, // C22 += A22·B22
+	}
+	for _, p := range g2 {
+		p := p
+		t.Spawn(func(c *sched.Task) {
+			m.mul(c, p.ar, p.ac, p.br, p.bc, p.cr, p.cc, h)
+		})
+	}
+	t.Sync()
+}
+
+// base is the serial base case with per-element instrumented accesses.
+func (m *mmState) base(t *sched.Task, ar, ac, br, bc, cr, cc, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				t.Read(m.addrA(ar+i, ac+k))
+				t.Read(m.addrB(br+k, bc+j))
+				acc += m.a[(ar+i)*m.n+ac+k] * m.bm[(br+k)*m.n+bc+j]
+			}
+			t.Read(m.addrC(cr+i, cc+j))
+			t.Write(m.addrC(cr+i, cc+j))
+			m.c[(cr+i)*m.n+cc+j] += acc
+		}
+	}
+}
+
+// verify spot-checks 16 cells of C against direct dot products.
+func (m *mmState) verify() error {
+	rng := rand.New(rand.NewSource(7))
+	for s := 0; s < 16; s++ {
+		i, j := rng.Intn(m.n), rng.Intn(m.n)
+		var want int64
+		for k := 0; k < m.n; k++ {
+			want += m.a[i*m.n+k] * m.bm[k*m.n+j]
+		}
+		if got := m.c[i*m.n+j]; got != want {
+			return fmt.Errorf("mm: C[%d][%d] = %d, want %d", i, j, got, want)
+		}
+	}
+	return nil
+}

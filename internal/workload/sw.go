@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sforder/internal/sched"
+)
+
+// SW returns Smith-Waterman local sequence alignment over two synthetic
+// DNA sequences of length n, blocked into b×b tiles computed as one
+// future per tile — (n/b)² futures in total, as in the paper.
+//
+// The root sweeps anti-diagonals: it gets every tile future of diagonal
+// d−1 (each handle touched exactly once) and then creates every tile of
+// diagonal d, so all wavefront dependences flow through the root's
+// serial order while tiles within one diagonal run in parallel. This is
+// the single-touch-legal formulation of the wavefront; DESIGN.md
+// discusses the relation to the paper's Cilk-F version.
+func SW(n, b int) *Benchmark {
+	if n%b != 0 || b < 2 {
+		panic(fmt.Sprintf("workload: SW requires b | n, b ≥ 2; got n=%d b=%d", n, b))
+	}
+	return &Benchmark{
+		Name: "sw",
+		Desc: "Smith-Waterman sequence alignment (wavefront futures)",
+		N:    n,
+		B:    b,
+		Make: func() *Run { return newSWRun(n, b) },
+	}
+}
+
+const (
+	swMatch    = 2
+	swMismatch = -1
+	swGap      = -1
+)
+
+type swState struct {
+	n, b int
+	seqA []byte  // shadow [0, n)
+	seqB []byte  // shadow [n, 2n)
+	h    []int32 // (n+1)×(n+1) score matrix, shadow [2n, 2n+(n+1)²)
+	best int32
+}
+
+func newSWRun(n, b int) *Run {
+	st := &swState{n: n, b: b,
+		seqA: make([]byte, n),
+		seqB: make([]byte, n),
+		h:    make([]int32, (n+1)*(n+1)),
+	}
+	rng := rand.New(rand.NewSource(99))
+	const bases = "ACGT"
+	for i := range st.seqA {
+		st.seqA[i] = bases[rng.Intn(4)]
+		st.seqB[i] = bases[rng.Intn(4)]
+	}
+	return &Run{Main: st.main, Verify: st.verify}
+}
+
+func (s *swState) addrA(i int) uint64    { return uint64(i) }
+func (s *swState) addrB(j int) uint64    { return uint64(s.n + j) }
+func (s *swState) addrH(i, j int) uint64 { return uint64(2*s.n + i*(s.n+1) + j) }
+
+func (s *swState) main(t *sched.Task) {
+	m := s.n / s.b // tiles per side
+	futs := make([][]*sched.Future, m)
+	for i := range futs {
+		futs[i] = make([]*sched.Future, m)
+	}
+	// Anti-diagonal sweep: join diagonal d-1, then launch diagonal d.
+	for d := 0; d < 2*m-1; d++ {
+		if d > 0 {
+			prev := d - 1
+			for i := max(0, prev-m+1); i <= min(prev, m-1); i++ {
+				t.Get(futs[i][prev-i])
+			}
+		}
+		for i := max(0, d-m+1); i <= min(d, m-1); i++ {
+			ti, tj := i, d-i
+			futs[ti][tj] = t.Create(func(c *sched.Task) any {
+				s.tile(c, ti, tj)
+				return nil
+			})
+		}
+	}
+	// Join the final diagonal.
+	last := 2*m - 2
+	for i := max(0, last-m+1); i <= min(last, m-1); i++ {
+		t.Get(futs[i][last-i])
+	}
+	// Reduce the best local score serially.
+	for i := 1; i <= s.n; i++ {
+		for j := 1; j <= s.n; j++ {
+			t.Read(s.addrH(i, j))
+			if v := s.h[i*(s.n+1)+j]; v > s.best {
+				s.best = v
+			}
+		}
+	}
+}
+
+// tile fills the score cells of tile (ti, tj).
+func (s *swState) tile(t *sched.Task, ti, tj int) {
+	w := s.n + 1
+	for i := ti*s.b + 1; i <= (ti+1)*s.b; i++ {
+		for j := tj*s.b + 1; j <= (tj+1)*s.b; j++ {
+			t.Read(s.addrA(i - 1))
+			t.Read(s.addrB(j - 1))
+			sc := int32(swMismatch)
+			if s.seqA[i-1] == s.seqB[j-1] {
+				sc = swMatch
+			}
+			t.Read(s.addrH(i-1, j-1))
+			t.Read(s.addrH(i-1, j))
+			t.Read(s.addrH(i, j-1))
+			v := s.h[(i-1)*w+j-1] + sc
+			if u := s.h[(i-1)*w+j] + swGap; u > v {
+				v = u
+			}
+			if l := s.h[i*w+j-1] + swGap; l > v {
+				v = l
+			}
+			if v < 0 {
+				v = 0
+			}
+			t.Write(s.addrH(i, j))
+			s.h[i*w+j] = v
+		}
+	}
+}
+
+// verify recomputes the matrix serially and compares the best score and
+// a sample of cells.
+func (s *swState) verify() error {
+	w := s.n + 1
+	ref := make([]int32, w*w)
+	var best int32
+	for i := 1; i <= s.n; i++ {
+		for j := 1; j <= s.n; j++ {
+			sc := int32(swMismatch)
+			if s.seqA[i-1] == s.seqB[j-1] {
+				sc = swMatch
+			}
+			v := ref[(i-1)*w+j-1] + sc
+			if u := ref[(i-1)*w+j] + swGap; u > v {
+				v = u
+			}
+			if l := ref[i*w+j-1] + swGap; l > v {
+				v = l
+			}
+			if v < 0 {
+				v = 0
+			}
+			ref[i*w+j] = v
+			if v > best {
+				best = v
+			}
+		}
+	}
+	if best != s.best {
+		return fmt.Errorf("sw: best score %d, want %d", s.best, best)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 32; k++ {
+		i, j := 1+rng.Intn(s.n), 1+rng.Intn(s.n)
+		if s.h[i*w+j] != ref[i*w+j] {
+			return fmt.Errorf("sw: H[%d][%d] = %d, want %d", i, j, s.h[i*w+j], ref[i*w+j])
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+// Package workload implements the five benchmarks of the paper's
+// evaluation (§4, Figure 3): divide-and-conquer matrix multiplication
+// (mm), parallel mergesort (sort), Smith-Waterman sequence alignment
+// (sw), the Heart Wall tracking application (hw), and the Ferret
+// content-based similarity search pipeline (ferret).
+//
+// Each benchmark computes real results over synthetic inputs and
+// annotates its memory accesses through Task.Read/Task.Write so the race
+// detectors see the same access stream a compiler-instrumented binary
+// would produce. hw and ferret are synthetic kernels with the dag shape
+// and access profile of their Rodinia/PARSEC namesakes (the original
+// input datasets are not redistributable); DESIGN.md documents the
+// substitution.
+//
+// All benchmarks are race-free by construction — the paper measures
+// detection overhead, not bug hunts — and every Run carries a Verify
+// check on the computed output so a broken scheduler or detector
+// integration cannot silently pass.
+package workload
+
+import (
+	"fmt"
+
+	"sforder/internal/sched"
+)
+
+// Run is one fresh, runnable instance of a benchmark: Main is passed to
+// sched.Run; Verify checks the computed output afterwards.
+type Run struct {
+	Main   func(*sched.Task)
+	Verify func() error
+}
+
+// Benchmark describes one workload with its headline parameters.
+type Benchmark struct {
+	Name string
+	Desc string
+	N    int // input size (matrix dim, element count, frames, queries)
+	B    int // base-case / block size, 0 when not applicable
+	Make func() *Run
+}
+
+func (b *Benchmark) String() string {
+	if b.B > 0 {
+		return fmt.Sprintf("%s(N=%d,B=%d)", b.Name, b.N, b.B)
+	}
+	return fmt.Sprintf("%s(N=%d)", b.Name, b.N)
+}
+
+// Scale selects preset benchmark sizes.
+type Scale int
+
+const (
+	// ScaleTest is small enough for exhaustive oracle validation.
+	ScaleTest Scale = iota
+	// ScaleBench is the default for the Figure 3-5 harness: large
+	// enough that detector overheads dominate fixed costs, small enough
+	// to run the full table in minutes on a laptop.
+	ScaleBench
+	// ScaleLarge approaches the paper's shapes (minutes per
+	// configuration).
+	ScaleLarge
+)
+
+// All returns the five paper benchmarks at the given scale, in the
+// paper's row order.
+func All(s Scale) []*Benchmark {
+	switch s {
+	case ScaleTest:
+		return []*Benchmark{
+			MM(32, 8), Sort(1000, 64), SW(64, 16), HW(3, 8, 64), Ferret(8, 64),
+		}
+	case ScaleLarge:
+		return []*Benchmark{
+			MM(256, 16), Sort(1_000_000, 8192), SW(1024, 32), HW(10, 64, 2048), Ferret(128, 2048),
+		}
+	default:
+		return []*Benchmark{
+			MM(128, 16), Sort(100_000, 2048), SW(512, 32), HW(6, 32, 1024), Ferret(64, 1024),
+		}
+	}
+}
+
+// ByName returns the benchmark with the given name at scale s, or nil.
+func ByName(name string, s Scale) *Benchmark {
+	for _, b := range All(s) {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package wsp implements WSP-Order (Utterback, Agrawal, Fineman, Lee,
+// SPAA'16), the asymptotically optimal parallel race detector for pure
+// fork-join (series-parallel) programs that SF-Order builds on (paper
+// §2): two order-maintenance lists holding the English and Hebrew orders
+// of the SP dag, answering Precedes in amortized constant time with no
+// other per-node state.
+//
+// It exists standalone for two reasons. First, it is the natural
+// detector when a program uses no futures: SF-Order degenerates to
+// exactly this plus (never-populated) gp/cp bookkeeping, and wsp skips
+// that bookkeeping. Second, it documents the inheritance: internal/core
+// is WSP-Order on the pseudo-SP-dag plus the future bitmaps, and the two
+// packages' placement logic can be compared side by side.
+//
+// Programs containing Create/Get must not use this detector: it panics
+// on the first future event rather than silently answering wrongly.
+package wsp
+
+import (
+	"sync/atomic"
+
+	"sforder/internal/om"
+	"sforder/internal/sched"
+)
+
+// node is the per-strand state: just the two list positions.
+type node struct {
+	eng, heb *om.Item
+}
+
+// Reach is the WSP-Order reachability component for fork-join programs.
+// It implements sched.Tracer and detect.Reachability.
+type Reach struct {
+	engL, hebL *om.List
+	queries    atomic.Uint64
+	strands    atomic.Uint64
+}
+
+// NewReach returns an empty WSP-Order component.
+func NewReach() *Reach {
+	return &Reach{engL: om.NewList(), hebL: om.NewList()}
+}
+
+func nodeOf(s *sched.Strand) *node { return s.Det.(*node) }
+
+// OnRoot implements sched.Tracer.
+func (r *Reach) OnRoot(root *sched.Strand) {
+	r.strands.Add(1)
+	root.Det = &node{eng: r.engL.InsertFirst(), heb: r.hebL.InsertFirst()}
+}
+
+// OnSpawn implements sched.Tracer: English order u, child, cont
+// [, placeholder]; Hebrew order u, cont, child[, placeholder].
+func (r *Reach) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	un := nodeOf(u)
+	n := 2
+	if placeholder != nil {
+		n = 3
+	}
+	r.strands.Add(uint64(n))
+	eng := r.engL.InsertAfterN(un.eng, n)
+	heb := r.hebL.InsertAfterN(un.heb, n)
+	child.Det = &node{eng: eng[0], heb: heb[1]}
+	cont.Det = &node{eng: eng[1], heb: heb[0]}
+	if placeholder != nil {
+		placeholder.Det = &node{eng: eng[2], heb: heb[2]}
+	}
+}
+
+// OnSync implements sched.Tracer (the join strand was pre-placed).
+func (r *Reach) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {}
+
+// OnReturn implements sched.Tracer.
+func (r *Reach) OnReturn(sink *sched.Strand) {}
+
+// OnCreate implements sched.Tracer by rejecting futures.
+func (r *Reach) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	panic("wsp: WSP-Order handles fork-join programs only; use SF-Order for futures")
+}
+
+// OnPut implements sched.Tracer. The root computation is future task 0
+// even in a pure fork-join program, so its put event is expected; any
+// other future task would have been rejected at OnCreate.
+func (r *Reach) OnPut(sink *sched.Strand, f *sched.FutureTask) {}
+
+// OnGet implements sched.Tracer by rejecting futures.
+func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	panic("wsp: WSP-Order handles fork-join programs only; use SF-Order for futures")
+}
+
+// Precedes reports whether u precedes v in the SP dag: before in both
+// total orders. Amortized O(1).
+func (r *Reach) Precedes(u, v *sched.Strand) bool {
+	r.queries.Add(1)
+	if u == v {
+		return true
+	}
+	un, vn := nodeOf(u), nodeOf(v)
+	return r.engL.Precedes(un.eng, vn.eng) && r.hebL.Precedes(un.heb, vn.heb)
+}
+
+// LeftOf reports whether a is earlier in the English order, for the
+// leftmost/rightmost reader policy (which for pure fork-join needs just
+// one pair per location — Mellor-Crummey's classic bound).
+func (r *Reach) LeftOf(a, b *sched.Strand) bool {
+	return r.engL.Precedes(nodeOf(a).eng, nodeOf(b).eng)
+}
+
+// Queries returns the number of Precedes calls served.
+func (r *Reach) Queries() uint64 { return r.queries.Load() }
+
+// MemBytes estimates the component's footprint.
+func (r *Reach) MemBytes() int {
+	const nodeSize = 16
+	return r.engL.MemBytes() + r.hebL.MemBytes() + int(r.strands.Load())*nodeSize
+}
+
+var _ sched.Tracer = (*Reach)(nil)

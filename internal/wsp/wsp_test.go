@@ -1,0 +1,168 @@
+package wsp_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sforder/internal/dag"
+	"sforder/internal/detect"
+	"sforder/internal/oracle"
+	"sforder/internal/sched"
+	"sforder/internal/workload"
+	"sforder/internal/wsp"
+)
+
+func runWithReach(t *testing.T, serial bool, main func(*sched.Task)) (*wsp.Reach, *dag.Recorder) {
+	t.Helper()
+	r := wsp.NewReach()
+	rec := dag.NewRecorder()
+	_, err := sched.Run(sched.Options{
+		Serial:  serial,
+		Workers: 4,
+		Tracer:  sched.MultiTracer{r, rec},
+	}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rec
+}
+
+func crossValidate(t *testing.T, r *wsp.Reach, rec *dag.Recorder) {
+	t.Helper()
+	cl := dag.NewClosure(rec.G)
+	strands := rec.Strands()
+	for _, u := range strands {
+		for _, v := range strands {
+			if u == v {
+				continue
+			}
+			want := cl.Reachable(rec.NodeOf(u), rec.NodeOf(v))
+			if got := r.Precedes(u, v); got != want {
+				t.Fatalf("Precedes(%v,%v)=%v, oracle %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// genForkJoin builds a deterministic random pure fork-join program.
+func genForkJoin(seed int64, depth int) func(*sched.Task) {
+	type tree struct {
+		children []*tree
+		syncAt   []bool
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var gen func(d int) *tree
+	gen = func(d int) *tree {
+		n := &tree{}
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			if d > 0 && rng.Intn(2) == 0 {
+				n.children = append(n.children, gen(d-1))
+				n.syncAt = append(n.syncAt, rng.Intn(3) == 0)
+			}
+		}
+		return n
+	}
+	root := gen(depth)
+	var runTree func(*sched.Task, *tree)
+	runTree = func(t *sched.Task, n *tree) {
+		for i, c := range n.children {
+			c := c
+			t.Spawn(func(ct *sched.Task) { runTree(ct, c) })
+			if n.syncAt[i] {
+				t.Sync()
+			}
+		}
+		t.Sync()
+	}
+	return func(t *sched.Task) { runTree(t, root) }
+}
+
+func TestForkJoinAgainstOracleSerial(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r, rec := runWithReach(t, true, genForkJoin(seed, 4))
+		crossValidate(t, r, rec)
+	}
+}
+
+func TestForkJoinAgainstOracleParallel(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r, rec := runWithReach(t, false, genForkJoin(seed, 4))
+		crossValidate(t, r, rec)
+	}
+}
+
+func TestRejectsFutures(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "fork-join") {
+			t.Fatalf("expected future rejection, got %v", r)
+		}
+	}()
+	sched.Run(sched.Options{Serial: true, Tracer: wsp.NewReach()}, func(t *sched.Task) {
+		t.Create(func(*sched.Task) any { return nil })
+	})
+}
+
+// TestFullDetectionOnFib: the complete WSP detector on the fork-join
+// fib workload reports nothing, and a seeded spawn race is caught.
+func TestFullDetectionOnFib(t *testing.T) {
+	reach := wsp.NewReach()
+	hist := detect.NewHistory(detect.Options{Reach: reach, Policy: detect.ReadersLR, LeftOf: reach.LeftOf})
+	run := workload.Fib(12).Make()
+	if _, err := sched.Run(sched.Options{Workers: 3, Tracer: reach, Checker: hist}, run.Main); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if hist.RaceCount() != 0 {
+		t.Fatalf("fib raced: %v", hist.Races())
+	}
+
+	reach2 := wsp.NewReach()
+	hist2 := detect.NewHistory(detect.Options{Reach: reach2})
+	log := oracle.NewLogger()
+	rec := dag.NewRecorder()
+	_, err := sched.Run(sched.Options{
+		Serial:  true,
+		Tracer:  sched.MultiTracer{reach2, rec},
+		Checker: multiChecker{hist2, log},
+	}, func(t *sched.Task) {
+		t.Spawn(func(c *sched.Task) { c.Write(9) })
+		t.Write(9)
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist2.RaceCount() == 0 {
+		t.Fatal("seeded spawn race missed")
+	}
+	if got := log.RacyAddrs(rec); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("oracle disagrees: %v", got)
+	}
+}
+
+type multiChecker []sched.AccessChecker
+
+func (m multiChecker) Read(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Read(s, addr)
+	}
+}
+func (m multiChecker) Write(s *sched.Strand, addr uint64) {
+	for _, c := range m {
+		c.Write(s, addr)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	r, _ := runWithReach(t, true, func(t *sched.Task) {
+		t.Spawn(func(*sched.Task) {})
+		t.Sync()
+	})
+	if r.MemBytes() <= 0 {
+		t.Error("memory accounting broken")
+	}
+}

@@ -1,0 +1,32 @@
+package sforder_test
+
+import (
+	"strings"
+	"testing"
+
+	"sforder"
+)
+
+// TestLabeledRaceReport: Task.Label names flow into race reports.
+func TestLabeledRaceReport(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Serial: true}, func(t *sforder.Task) {
+		t.Label("main: deposit")
+		h := t.Create(func(c *sforder.Task) any {
+			c.Label("worker: withdraw")
+			c.Write(0)
+			return nil
+		})
+		t.Write(0)
+		t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("seeded race missed")
+	}
+	msg := res.Races[0].String()
+	if !strings.Contains(msg, "worker: withdraw") || !strings.Contains(msg, "main: deposit") {
+		t.Errorf("race report missing labels: %s", msg)
+	}
+}

@@ -1,0 +1,262 @@
+// Package sforder is a parallel on-the-fly determinacy race detector for
+// task-parallel programs with fork-join and structured-future
+// parallelism, implementing SF-Order (Xu, Agrawal, Lee, "Efficient
+// Parallel Determinacy Race Detection for Structured Futures", SPAA
+// 2021) together with the baselines it is evaluated against (F-Order for
+// general futures and the sequential MultiBags).
+//
+// Programs are written against the Task API — Spawn/Sync for fork-join
+// parallelism, Create/Get for structured futures — and annotate the
+// memory accesses the detector should observe with Task.Read and
+// Task.Write on application-chosen shadow addresses:
+//
+//	result, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder}, func(t *sforder.Task) {
+//		h := t.Create(func(c *sforder.Task) any {
+//			c.Write(0)
+//			return 42
+//		})
+//		t.Write(0) // races with the future body
+//		_ = t.Get(h)
+//	})
+//	for _, race := range result.Races { fmt.Println(race) }
+//
+// A determinacy race is reported iff two logically parallel strands make
+// conflicting accesses to the same address — soundly and completely for
+// the given input, per the guarantees of the underlying algorithms.
+//
+// Structured futures obey two restrictions (checked at runtime where
+// possible): each future handle is touched by Get at most once, and the
+// Get must be reachable from the Create's continuation without passing
+// through the created task. Violating the first panics; violating the
+// second voids the detector's guarantees (use internal/dag's validator
+// in tests to check programs).
+package sforder
+
+import (
+	"fmt"
+	"time"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/forder"
+	"sforder/internal/multibags"
+	"sforder/internal/sched"
+	"sforder/internal/wsp"
+)
+
+// Task is the execution context of one function instance; user code
+// receives one and expresses parallelism through its methods.
+type Task = sched.Task
+
+// Future is the single-touch handle returned by Task.Create.
+type Future = sched.Future
+
+// Race describes one reported determinacy race.
+type Race = detect.Race
+
+// AccessKind tags the two sides of a Race.
+type AccessKind = detect.AccessKind
+
+// Access kinds.
+const (
+	AccessRead  = detect.AccessRead
+	AccessWrite = detect.AccessWrite
+)
+
+// Detector selects the race-detection algorithm.
+type Detector int
+
+const (
+	// SFOrder is the paper's parallel detector for structured futures:
+	// constant-time reachability queries, O((T1+k²)/P + T∞ lg k)
+	// running time for k futures.
+	SFOrder Detector = iota
+	// FOrder is the parallel detector for general (unrestricted)
+	// futures — higher overhead, no structured-future assumptions.
+	FOrder
+	// MultiBags is the sequential detector for structured futures —
+	// the lowest one-core overhead, but it forces serial execution.
+	MultiBags
+	// WSPOrder is the asymptotically optimal detector for pure
+	// fork-join programs (WSP-Order, SPAA'16) — the algorithm SF-Order
+	// builds on. It panics on the first Create/Get: programs with
+	// futures need SFOrder or FOrder.
+	WSPOrder
+	// NoDetector executes the program without any instrumentation.
+	NoDetector
+)
+
+func (d Detector) String() string {
+	switch d {
+	case SFOrder:
+		return "SF-Order"
+	case FOrder:
+		return "F-Order"
+	case MultiBags:
+		return "MultiBags"
+	case WSPOrder:
+		return "WSP-Order"
+	case NoDetector:
+		return "none"
+	default:
+		return fmt.Sprintf("Detector(%d)", int(d))
+	}
+}
+
+// ReaderPolicy selects how many previous readers the access history
+// keeps per location.
+type ReaderPolicy = detect.ReaderPolicy
+
+const (
+	// ReadersAll keeps every reader between two writes (required for
+	// FOrder; the paper's SF-Order implementation also uses it).
+	ReadersAll = detect.ReadersAll
+	// ReadersLR keeps the leftmost and rightmost reader per (location,
+	// future) — at most 2k readers — valid for SFOrder only (§3.5).
+	ReadersLR = detect.ReadersLR
+)
+
+// Config configures Run.
+type Config struct {
+	// Detector selects the algorithm; default SFOrder.
+	Detector Detector
+	// Workers is the worker count for parallel execution (0 =
+	// GOMAXPROCS). Ignored when Serial.
+	Workers int
+	// Serial runs the program on the sequential depth-first executor.
+	// MultiBags requires it and forces it on.
+	Serial bool
+	// ReachabilityOnly maintains the detector's reachability structures
+	// but checks no memory accesses (the paper's "reach" configuration).
+	ReachabilityOnly bool
+	// Policy selects reader retention for full detection.
+	Policy ReaderPolicy
+	// MaxRaces caps retained detailed race records (0 = 256).
+	MaxRaces int
+	// StrandFilter puts a strand-local redundancy filter in front of
+	// the access history: accesses a strand already made to an address
+	// are dropped before taking the history lock. Detection at location
+	// granularity is unchanged; loop-heavy workloads check in much less
+	// often.
+	StrandFilter bool
+	// Backend selects the shadow-table layout for full detection.
+	Backend Backend
+}
+
+// Backend selects the shadow-memory layout of the access history.
+type Backend = detect.Backend
+
+const (
+	// BackendShardedMap (default) shards a hash map across mutexes.
+	BackendShardedMap = detect.BackendShardedMap
+	// BackendTwoLevel is the paper's two-level direct-mapped layout
+	// (§4) — one lock per contiguous page of locations; measurably
+	// faster on dense address spaces.
+	BackendTwoLevel = detect.BackendTwoLevel
+)
+
+// Result reports a completed run.
+type Result struct {
+	// Races holds up to MaxRaces detailed reports; RaceCount is the
+	// total number detected.
+	Races     []Race
+	RaceCount uint64
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// Queries is the number of reachability queries served.
+	Queries uint64
+	// Strands and Futures describe the executed computation dag.
+	Strands uint64
+	Futures uint64
+	// ReachMemBytes and HistoryMemBytes estimate detector memory.
+	ReachMemBytes   int
+	HistoryMemBytes int
+}
+
+// Run executes main under cfg and returns the detection result. The
+// returned error is non-nil when the program itself failed (a panic in a
+// parallel worker); detected races are data, not errors.
+func Run(cfg Config, main func(*Task)) (*Result, error) {
+	type reachComponent interface {
+		sched.Tracer
+		detect.Reachability
+		MemBytes() int
+		Queries() uint64
+	}
+	var reach reachComponent
+	var leftOf func(a, b *sched.Strand) bool
+	switch cfg.Detector {
+	case SFOrder:
+		sf := core.NewReach()
+		reach, leftOf = sf, sf.LeftOf
+	case FOrder:
+		reach = forder.NewReach()
+	case MultiBags:
+		reach = multibags.NewReach()
+		cfg.Serial = true
+	case WSPOrder:
+		w := wsp.NewReach()
+		reach, leftOf = w, w.LeftOf
+	case NoDetector:
+	default:
+		return nil, fmt.Errorf("sforder: unknown detector %v", cfg.Detector)
+	}
+	if cfg.Policy == ReadersLR && cfg.Detector != SFOrder && cfg.Detector != WSPOrder {
+		return nil, fmt.Errorf("sforder: ReadersLR is only sound for the SFOrder and WSPOrder detectors")
+	}
+
+	opts := sched.Options{Serial: cfg.Serial, Workers: cfg.Workers}
+	var hist *detect.History
+	if reach != nil {
+		opts.Tracer = reach
+		if !cfg.ReachabilityOnly {
+			hist = detect.NewHistory(detect.Options{
+				Reach:    reach,
+				Policy:   cfg.Policy,
+				LeftOf:   leftOf,
+				MaxRaces: cfg.MaxRaces,
+				Backend:  cfg.Backend,
+			})
+			if cfg.StrandFilter {
+				opts.Checker = detect.NewStrandFilter(hist)
+			} else {
+				opts.Checker = hist
+			}
+		}
+	}
+
+	start := time.Now()
+	counts, err := sched.Run(opts, main)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Elapsed: time.Since(start),
+		Strands: counts.Strands,
+		Futures: counts.Futures,
+	}
+	if reach != nil {
+		res.Queries = reach.Queries()
+		res.ReachMemBytes = reach.MemBytes()
+	}
+	if hist != nil {
+		res.Races = hist.Races()
+		res.RaceCount = hist.RaceCount()
+		res.HistoryMemBytes = hist.MemBytes()
+	}
+	return res, nil
+}
+
+// GetTyped retrieves a future's value with a type assertion, panicking
+// with a descriptive message on mismatch. It is sugar over Task.Get for
+// value-returning futures:
+//
+//	n := sforder.GetTyped[int](t, h)
+func GetTyped[T any](t *Task, f *Future) T {
+	v := t.Get(f)
+	out, ok := v.(T)
+	if !ok {
+		panic(fmt.Sprintf("sforder: future value is %T, not %T", v, out))
+	}
+	return out
+}

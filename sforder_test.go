@@ -1,0 +1,192 @@
+package sforder_test
+
+import (
+	"strings"
+	"testing"
+
+	"sforder"
+)
+
+func TestQuickstartRace(t *testing.T) {
+	for _, det := range []sforder.Detector{sforder.SFOrder, sforder.FOrder, sforder.MultiBags} {
+		res, err := sforder.Run(sforder.Config{Detector: det, Serial: true}, func(t *sforder.Task) {
+			h := t.Create(func(c *sforder.Task) any {
+				c.Write(0)
+				return 42
+			})
+			t.Write(0)
+			_ = t.Get(h)
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", det, err)
+		}
+		if res.RaceCount == 0 {
+			t.Errorf("%v: seeded race missed", det)
+		}
+		if len(res.Races) == 0 || res.Races[0].Addr != 0 {
+			t.Errorf("%v: race record wrong: %v", det, res.Races)
+		}
+	}
+}
+
+func TestRaceFreeProgram(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Workers: 4}, func(t *sforder.Task) {
+		h := t.Create(func(c *sforder.Task) any {
+			c.Write(1)
+			return 1
+		})
+		t.Write(2)
+		v := sforder.GetTyped[int](t, h)
+		t.Write(1) // ordered after the future by the get
+		_ = v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 {
+		t.Fatalf("false positives: %v", res.Races)
+	}
+	if res.Futures != 2 || res.Queries == 0 {
+		t.Errorf("result metadata: %+v", res)
+	}
+}
+
+func TestReachabilityOnlyMode(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{ReachabilityOnly: true, Serial: true}, func(t *sforder.Task) {
+		h := t.Create(func(c *sforder.Task) any { c.Write(7); return nil })
+		t.Write(7) // a race — but accesses are not checked in reach mode
+		t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 || res.Queries != 0 {
+		t.Error("reach mode must not check accesses")
+	}
+	if res.ReachMemBytes <= 0 {
+		t.Error("reach mode still maintains reachability structures")
+	}
+}
+
+func TestNoDetector(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Detector: sforder.NoDetector, Serial: true}, func(t *sforder.Task) {
+		t.Write(1)
+		t.Write(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 || res.ReachMemBytes != 0 {
+		t.Error("NoDetector must not detect or account anything")
+	}
+}
+
+func TestMultiBagsForcesSerial(t *testing.T) {
+	// Even with Workers set, MultiBags must run (serially) and work.
+	res, err := sforder.Run(sforder.Config{Detector: sforder.MultiBags, Workers: 8}, func(t *sforder.Task) {
+		t.Spawn(func(c *sforder.Task) { c.Write(3) })
+		t.Write(3)
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Error("spawn race missed")
+	}
+}
+
+func TestLRPolicyRejectedForFOrder(t *testing.T) {
+	_, err := sforder.Run(sforder.Config{Detector: sforder.FOrder, Policy: sforder.ReadersLR}, func(*sforder.Task) {})
+	if err == nil || !strings.Contains(err.Error(), "ReadersLR") {
+		t.Fatalf("expected ReadersLR rejection, got %v", err)
+	}
+}
+
+func TestGetTypedMismatchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "not int") {
+			t.Errorf("expected type mismatch panic, got %v", r)
+		}
+	}()
+	sforder.Run(sforder.Config{Serial: true}, func(t *sforder.Task) {
+		h := t.Create(func(*sforder.Task) any { return "hello" })
+		sforder.GetTyped[int](t, h)
+	})
+}
+
+func TestParallelPanicSurfacesAsError(t *testing.T) {
+	_, err := sforder.Run(sforder.Config{Workers: 2}, func(t *sforder.Task) {
+		t.Spawn(func(*sforder.Task) { panic("kaboom") })
+		t.Sync()
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("expected propagated panic, got %v", err)
+	}
+}
+
+func TestWSPOrderDetector(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Detector: sforder.WSPOrder, Workers: 2}, func(t *sforder.Task) {
+		t.Spawn(func(c *sforder.Task) { c.Write(4) })
+		t.Write(4)
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Error("spawn race missed by WSP-Order")
+	}
+	// LR policy is sound for WSP-Order too.
+	if _, err := sforder.Run(sforder.Config{Detector: sforder.WSPOrder, Policy: sforder.ReadersLR, Serial: true},
+		func(t *sforder.Task) { t.Read(1) }); err != nil {
+		t.Errorf("ReadersLR with WSPOrder rejected: %v", err)
+	}
+	// Futures are rejected loudly.
+	_, err = sforder.Run(sforder.Config{Detector: sforder.WSPOrder, Workers: 2}, func(t *sforder.Task) {
+		t.Create(func(*sforder.Task) any { return nil })
+	})
+	if err == nil || !strings.Contains(err.Error(), "fork-join") {
+		t.Errorf("expected future rejection, got %v", err)
+	}
+}
+
+func TestParallelForDetection(t *testing.T) {
+	// Disjoint writes: race-free.
+	res, err := sforder.Run(sforder.Config{Workers: 3}, func(t *sforder.Task) {
+		t.ParallelFor(0, 100, 8, func(ti *sforder.Task, i int) {
+			ti.Write(uint64(i))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount != 0 {
+		t.Fatalf("disjoint parallel writes raced: %v", res.Races)
+	}
+	// All iterations write one cell: racy.
+	res, err = sforder.Run(sforder.Config{Serial: true}, func(t *sforder.Task) {
+		t.ParallelFor(0, 16, 2, func(ti *sforder.Task, i int) {
+			ti.Write(7)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("racy parallel loop not reported")
+	}
+}
+
+func TestDetectorStrings(t *testing.T) {
+	want := map[sforder.Detector]string{
+		sforder.SFOrder: "SF-Order", sforder.FOrder: "F-Order",
+		sforder.MultiBags: "MultiBags", sforder.NoDetector: "none",
+	}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
