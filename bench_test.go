@@ -322,3 +322,36 @@ func BenchmarkAblationBitmapVsHash(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCheckStructure isolates the cost of Config.CheckStructure on
+// a future-dense chain (one create+get per link, no detector): "off" is
+// the default engine — the checked-mode plumbing must cost nothing there
+// — and "on" pays the per-operation site capture and visibility-horizon
+// updates of the runtime structured-futures checker.
+func BenchmarkCheckStructure(b *testing.B) {
+	const links = 256
+	chain := func(t *sforder.Task) {
+		prev := t.Create(func(*sforder.Task) any { return 0 })
+		for f := 1; f < links; f++ {
+			p := prev
+			prev = t.Create(func(c *sforder.Task) any { return c.Get(p).(int) + 1 })
+		}
+		if got := t.Get(prev).(int); got != links-1 {
+			panic("checkstructure chain: bad value")
+		}
+	}
+	for _, check := range []bool{false, true} {
+		name := "off"
+		if check {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sforder.Config{Detector: sforder.NoDetector, Serial: true, CheckStructure: check}
+				if _, err := sforder.Run(cfg, chain); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command badfutures is a rogues' gallery of structured-futures
+// contract violations (paper §2, §4). Every function here is flagged by
+// the static analyzer — run `go run ./cmd/sfvet ./examples/badfutures`
+// to see SF001 through SF004 fire — and the runnable ones demonstrate
+// what the runtime checked mode (Config.CheckStructure) does with the
+// same programs. It is the one package in this module that sfvet is
+// supposed to reject, so CI analyzes everything except this directory.
+package main
+
+import (
+	"fmt"
+
+	"sforder"
+)
+
+// doubleGet touches one handle with two Gets (SF001, single-touch).
+// Under CheckStructure the second Get is rejected with all three sites
+// named.
+func doubleGet() {
+	_, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 1, CheckStructure: true},
+		func(t *sforder.Task) {
+			h := t.Create(func(*sforder.Task) any { return 1 })
+			t.Get(h)
+			t.Get(h)
+		})
+	fmt.Println("double get rejected at runtime:", err != nil)
+}
+
+// silentSharing writes a captured variable inside a future body and in
+// the continuation without Task.Read/Write annotations (SF003). The
+// program runs fine — but the detector reports zero races even though
+// the sharing is real. That blindness is exactly what SF003 warns
+// about.
+func silentSharing() {
+	x := 0
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Serial: true},
+		func(t *sforder.Task) {
+			h := t.Create(func(c *sforder.Task) any {
+				x = 1
+				return nil
+			})
+			x = 2
+			t.Get(h)
+		})
+	if err != nil {
+		fmt.Println("silent sharing error:", err)
+		return
+	}
+	fmt.Printf("unannotated sharing: x=%d, detector saw %d races despite a real conflict\n", x, res.RaceCount)
+}
+
+type resultBox struct {
+	fut *sforder.Future
+}
+
+var leaked *sforder.Future
+
+// leakHandle stores handles into a package-level variable and a struct
+// field (SF004). Dynamically this particular program is still
+// structured — the same task gets both handles — so the checked mode
+// accepts it; the warning says the analyzer can no longer prove that.
+func leakHandle() {
+	var box resultBox
+	_, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 1, CheckStructure: true},
+		func(t *sforder.Task) {
+			leaked = t.Create(func(*sforder.Task) any { return 1 })
+			box.fut = t.Create(func(*sforder.Task) any { return 2 })
+			t.Get(leaked)
+			t.Get(box.fut)
+		})
+	fmt.Println("leaked-but-structured handles accepted at runtime:", err == nil)
+}
+
+// backwardHandle smuggles a handle through a channel to a future that
+// was created before the handle's future existed (SF004 statically;
+// get-reachability violation at runtime). The consumer's Get sits
+// outside its visibility horizon, so the checked mode rejects it.
+func backwardHandle() {
+	ch := make(chan *sforder.Future, 1)
+	_, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 1, CheckStructure: true},
+		func(t *sforder.Task) {
+			t.Create(func(c *sforder.Task) any { return c.Get(<-ch) })
+			ch <- t.Create(func(*sforder.Task) any { return 7 })
+		})
+	fmt.Println("backward handle rejected at runtime:", err != nil)
+}
+
+// selfGet captures its own handle inside the closure passed to Create
+// (SF002): the Get can only run inside the created task, so no path
+// outside the task reaches it. It is never called — unchecked it
+// deadlocks — but sfvet flags it without running anything.
+func selfGet(t *sforder.Task) {
+	var h *sforder.Future
+	h = t.Create(func(c *sforder.Task) any {
+		return c.Get(h)
+	})
+	t.Get(h)
+}
+
+var _ = selfGet
+
+func main() {
+	doubleGet()
+	silentSharing()
+	leakHandle()
+	backwardHandle()
+}

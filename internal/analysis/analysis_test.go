@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseWant scans a fixture file for `// want SF00x` comments and
+// returns the expected findings as "line:CHECK" keys.
+func parseWant(t *testing.T, file string) map[string]bool {
+	t.Helper()
+	fh, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	want := map[string]bool{}
+	sc := bufio.NewScanner(fh)
+	for line := 1; sc.Scan(); line++ {
+		_, after, ok := strings.Cut(sc.Text(), "// want ")
+		if !ok {
+			continue
+		}
+		for _, check := range strings.Fields(after) {
+			if !strings.HasPrefix(check, "SF") {
+				break
+			}
+			want[fmt.Sprintf("%d:%s", line, check)] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestFixtures runs the analyzer over each seeded-violation package in
+// testdata/src and checks the findings exactly match the `// want`
+// annotations — nothing missing, nothing extra.
+func TestFixtures(t *testing.T) {
+	for _, name := range []string{"multitouch", "escape", "sharing", "leak", "clean"} {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			pkgs, err := Load(dir, []string{"."}, false)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("loaded %d packages, want 1", len(pkgs))
+			}
+			if len(pkgs[0].TypeErrors) > 0 {
+				t.Fatalf("fixture has type errors: %v", pkgs[0].TypeErrors)
+			}
+			want := parseWant(t, filepath.Join(dir, "main.go"))
+			got := map[string]bool{}
+			for _, d := range AnalyzePackage(pkgs[0]) {
+				got[fmt.Sprintf("%d:%s", d.Pos.Line, d.Check)] = true
+				t.Logf("diag: %s", d)
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("missing expected diagnostic %s", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("unexpected diagnostic %s", k)
+				}
+			}
+		})
+	}
+}
+
+// TestRepoHasNoFalsePositives loads the whole module the way cmd/sfvet
+// would and requires (a) zero findings outside examples/badfutures and
+// (b) at least one finding of every check inside it. This is the
+// acceptance bar: the analyzer must be quiet on all shipping code.
+func TestRepoHasNoFalsePositives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the full module")
+	}
+	pkgs, err := Load("../..", []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Fatalf("package %s has type errors: %v", p.Path, p.TypeErrors)
+		}
+	}
+	seeded := map[string]bool{}
+	for _, d := range Analyze(pkgs) {
+		if strings.Contains(filepath.ToSlash(d.Pos.Filename), "examples/badfutures/") {
+			seeded[d.Check] = true
+			continue
+		}
+		t.Errorf("false positive outside examples/badfutures: %s", d)
+	}
+	var missing []string
+	for _, c := range Checks {
+		if !seeded[c.ID] {
+			missing = append(missing, c.ID)
+		}
+	}
+	sort.Strings(missing)
+	if len(missing) > 0 {
+		t.Errorf("examples/badfutures does not trigger %v", missing)
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+// SF002 handle-escape: the closure passed to Create captures the very
+// handle that Create returns (`h = t.Create(func(c) any { ... c.Get(h)
+// ... })`). Any Get of that handle inside the created task is reachable
+// only through the task itself, so no get-reachability path that avoids
+// the created future exists (paper §2) — at runtime the Get deadlocks
+// (the future waits on its own completion) or, under the checked mode,
+// panics. Go's scoping makes this expressible only through a plain
+// assignment to a previously declared variable; `:=` and `var` forms
+// cannot name the handle inside the right-hand side.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func checkHandleEscape(p *Package, f *ast.File, report reporter) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sc, ok := classifyCall(p.Info, call)
+			if !ok || sc.kind != callCreate || sc.fn == nil {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := objOf(p.Info, id)
+			if v == nil || !isFutureType(v.Type()) {
+				continue
+			}
+			if use := firstUse(p.Info, sc.fn.Body, v); use.IsValid() {
+				report(use, "SF002",
+					"handle %q is captured by the closure passed to its own Create: any Get here runs inside the created task, so no path outside the task can reach it",
+					v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// firstUse returns the position of the first identifier in n that
+// refers to v, or NoPos.
+func firstUse(info *types.Info, n ast.Node, v *types.Var) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == v {
+			pos = id.Pos()
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,83 @@
+package analysis
+
+// SF004 leaked-handle: a Future handle is stored somewhere the analyzer
+// (and a human reader) can no longer follow sequentially — a struct
+// field, a package-level variable, or a channel. Get-reachability
+// (paper §2) demands a path from the Create's continuation to the Get
+// that avoids the created task; once the handle travels through shared
+// mutable storage that path can only be established dynamically, which
+// is exactly what the runtime checked mode's visibility horizon exists
+// for. Storing handles in local slices, maps, or arrays is the
+// standard fan-out/fan-in idiom and is not flagged.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func checkLeakedHandle(p *Package, f *ast.File, report reporter) {
+	futureExpr := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		return ok && isFutureType(tv.Type)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lh := range x.Lhs {
+				if !futureExpr(lh) {
+					continue
+				}
+				switch t := ast.Unparen(lh).(type) {
+				case *ast.SelectorExpr:
+					report(t.Pos(), "SF004",
+						"future handle stored into field %q: get-reachability through shared storage cannot be established statically (use the runtime checked mode)",
+						t.Sel.Name)
+				case *ast.Ident:
+					if v := objOf(p.Info, t); v != nil && isGlobal(p, v) {
+						report(t.Pos(), "SF004",
+							"future handle stored into package-level variable %q: get-reachability through shared storage cannot be established statically (use the runtime checked mode)",
+							v.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if futureExpr(x.Value) {
+				report(x.Pos(), "SF004",
+					"future handle sent on a channel: the receiver may not be a sequential successor of the Create, so get-reachability cannot be established statically (use the runtime checked mode)")
+			}
+		case *ast.CompositeLit:
+			tv, ok := p.Info.Types[x]
+			if !ok || !isStructType(tv.Type) {
+				return true
+			}
+			for _, el := range x.Elts {
+				val := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if futureExpr(val) {
+					report(val.Pos(), "SF004",
+						"future handle stored into a struct literal: get-reachability through shared storage cannot be established statically (use the runtime checked mode)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isGlobal reports whether v is declared at package scope.
+func isGlobal(p *Package, v *types.Var) bool {
+	return p.Types != nil && v.Parent() == p.Types.Scope()
+}
+
+// isStructType unwraps pointers/named types down to a struct.
+func isStructType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	_, ok := t.Underlying().(*types.Struct)
+	return ok
+}

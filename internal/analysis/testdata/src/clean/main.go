@@ -1,0 +1,52 @@
+// Control fixture: realistic structured-futures programs that must
+// produce zero diagnostics.
+package main
+
+import "sforder"
+
+func chain(t *sforder.Task) int {
+	a := t.Create(func(c *sforder.Task) any { return 2 })
+	b := t.Create(func(c *sforder.Task) any {
+		return sforder.GetTyped[int](c, a) + 1 // sibling get inside a later future
+	})
+	return sforder.GetTyped[int](t, b)
+}
+
+func fanOut(t *sforder.Task) int {
+	futs := make([]*sforder.Future, 0, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		futs = append(futs, t.Create(func(c *sforder.Task) any { return i * i }))
+	}
+	sum := 0
+	for _, h := range futs {
+		sum += sforder.GetTyped[int](t, h)
+	}
+	return sum
+}
+
+func earlyReturn(t *sforder.Task, cond bool) int {
+	h := t.Create(func(c *sforder.Task) any { return 3 })
+	if cond {
+		return sforder.GetTyped[int](t, h)
+	}
+	return sforder.GetTyped[int](t, h) + 1
+}
+
+func annotatedSpawn(t *sforder.Task) int {
+	a := 0
+	t.Spawn(func(c *sforder.Task) {
+		c.Write(1)
+		a = 1
+	})
+	t.Write(1)
+	t.Sync()
+	return a
+}
+
+func main() {
+	_ = chain(nil)
+	_ = fanOut(nil)
+	_ = earlyReturn(nil, true)
+	_ = annotatedSpawn(nil)
+}

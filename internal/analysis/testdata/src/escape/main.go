@@ -1,0 +1,26 @@
+// Fixture for SF002 handle-escape: the closure passed to Create
+// captures the handle Create returns.
+package main
+
+import "sforder"
+
+func selfCapture(t *sforder.Task) {
+	var h *sforder.Future
+	h = t.Create(func(c *sforder.Task) any {
+		return c.Get(h) // want SF002
+	})
+	t.Get(h)
+}
+
+func siblingCapture(t *sforder.Task) any {
+	inner := t.Create(func(*sforder.Task) any { return 1 })
+	outer := t.Create(func(c *sforder.Task) any {
+		return c.Get(inner) // ok: a sibling handle, created before us
+	})
+	return t.Get(outer)
+}
+
+func main() {
+	selfCapture(nil)
+	_ = siblingCapture(nil)
+}

@@ -1,0 +1,87 @@
+// Fixture for SF001 multi-touch. Lines carrying a want comment must be
+// flagged; everything else must stay silent.
+package main
+
+import "sforder"
+
+func straightLine(t *sforder.Task) {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	t.Get(h)
+	t.Get(h) // want SF001
+}
+
+func branchThenFall(t *sforder.Task, cond bool) {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	if cond {
+		t.Get(h)
+	}
+	t.Get(h) // want SF001
+}
+
+func branchExclusive(t *sforder.Task, cond bool) any {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	if cond {
+		return t.Get(h) // ok: this path ends here
+	}
+	return t.Get(h)
+}
+
+func loopInvariant(t *sforder.Task) {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	for i := 0; i < 3; i++ {
+		t.Get(h) // want SF001
+	}
+}
+
+func loopFresh(t *sforder.Task) {
+	for i := 0; i < 3; i++ {
+		h := t.Create(func(*sforder.Task) any { return 1 })
+		t.Get(h) // ok: a fresh future every iteration
+	}
+}
+
+func fanIn(t *sforder.Task) {
+	var futs []*sforder.Future
+	for i := 0; i < 4; i++ {
+		futs = append(futs, t.Create(func(*sforder.Task) any { return 1 }))
+	}
+	for _, h := range futs {
+		t.Get(h) // ok: h is rebound by the range every iteration
+	}
+}
+
+func reassigned(t *sforder.Task) {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	t.Get(h)
+	h = t.Create(func(*sforder.Task) any { return 2 })
+	t.Get(h) // ok: a different future now
+}
+
+func viaGetTyped(t *sforder.Task) int {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	x := sforder.GetTyped[int](t, h)
+	return x + sforder.GetTyped[int](t, h) // want SF001
+}
+
+func switchArms(t *sforder.Task, n int) {
+	h := t.Create(func(*sforder.Task) any { return 1 })
+	switch n {
+	case 0:
+		t.Get(h)
+	case 1:
+		t.Get(h) // ok on its own: arms are exclusive
+	}
+	t.Get(h) // want SF001
+}
+
+func main() {
+	straightLine(nil)
+	branchThenFall(nil, false)
+	branchExclusive(nil, false)
+	loopInvariant(nil)
+	loopFresh(nil)
+	fanIn(nil)
+	reassigned(nil)
+	viaGetTyped(nil)
+	switchArms(nil, 0)
+}

@@ -1,0 +1,70 @@
+// Fixture for SF003 unannotated-sharing: a captured variable written by
+// a task closure and touched by the continuation, with no shadow
+// annotations anywhere in the function.
+package main
+
+import "sforder"
+
+func unannotated(t *sforder.Task) int {
+	x := 0
+	h := t.Create(func(c *sforder.Task) any {
+		x = 42 // want SF003
+		return nil
+	})
+	x++
+	t.Get(h)
+	return x
+}
+
+func annotated(t *sforder.Task) int {
+	y := 0
+	h := t.Create(func(c *sforder.Task) any {
+		c.Write(1)
+		y = 42
+		return nil
+	})
+	t.Write(1)
+	y++
+	t.Get(h)
+	return y
+}
+
+func helperEscape(t *sforder.Task) int {
+	var a int
+	t.Spawn(func(c *sforder.Task) {
+		a = helper(c) // ok: c escapes into helper, which may annotate
+	})
+	t.Sync()
+	return a
+}
+
+func helper(c *sforder.Task) int {
+	c.Write(2)
+	return 1
+}
+
+func elementWrite(t *sforder.Task) []int {
+	out := make([]int, 4)
+	t.Spawn(func(c *sforder.Task) {
+		out[0] = 1 // ok: element writes are the disjoint-partition idiom
+	})
+	t.Sync()
+	return out
+}
+
+func spawnShared(t *sforder.Task) int {
+	n := 0
+	t.Spawn(func(c *sforder.Task) {
+		n++ // want SF003
+	})
+	t.Sync()
+	return n
+}
+
+func main() {
+	_ = unannotated(nil)
+	_ = annotated(nil)
+	_ = helperEscape(nil)
+	_ = elementWrite(nil)
+	_ = spawnShared(nil)
+}

@@ -1,0 +1,271 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"sforder/internal/sched"
+)
+
+// Hand-built non-SF dags: programs that violate the structured-futures
+// restrictions in ways a real execution cannot always record (a self-get
+// deadlocks the unchecked engine, for example). Validate must reject
+// every one, citing the right invariant.
+
+// buildSiblingSmuggle models a handle passed to a sibling future that
+// was created before the handle existed:
+//
+//	root: a --create--> B, b --create--> A, then continuation c
+//	B's body gets A (the handle arrived through shared memory).
+//
+// No path from A's create-continuation reaches the get without entering
+// B through the earlier create edge, so get-reachability is violated.
+func buildSiblingSmuggle() *Graph {
+	g := New()
+	a := g.NewNode(0, "a")
+	bID := g.NewFuture(0) // consumer B, created first
+	bFirst := g.NewNode(bID, "B.first")
+	b := g.NewNode(0, "b")
+	aID := g.NewFuture(0) // producer A, created second
+	aFirst := g.NewNode(aID, "A.first")
+	c := g.NewNode(0, "c")
+	bGet := g.NewNode(bID, "B.get")
+	bPut := g.NewNode(bID, "B.put")
+	aPut := g.NewNode(aID, "A.put")
+
+	g.AddEdge(a, bFirst, Create)
+	g.AddEdge(a, b, Continue)
+	g.AddEdge(b, aFirst, Create)
+	g.AddEdge(b, c, Continue)
+	g.AddEdge(bFirst, bGet, Continue)
+	g.AddEdge(bGet, bPut, Continue)
+	g.AddEdge(aFirst, aPut, Continue)
+	g.AddEdge(aPut, bGet, Get) // B gets A
+
+	g.SetLast(0, c)
+	g.SetLast(bID, bPut)
+	g.SetLast(aID, aPut)
+	g.SetGot(aID, bGet)
+	return g
+}
+
+// buildDescendantGet models a future A whose own created subtask C
+// performs the get of A — the get is only reachable through A itself.
+func buildDescendantGet() *Graph {
+	g := New()
+	a := g.NewNode(0, "a")
+	aID := g.NewFuture(0)
+	aFirst := g.NewNode(aID, "A.first")
+	cont := g.NewNode(0, "cont")
+	cID := g.NewFuture(aID)
+	cFirst := g.NewNode(cID, "C.first")
+	aPut := g.NewNode(aID, "A.put")
+	cGet := g.NewNode(cID, "C.get")
+	cPut := g.NewNode(cID, "C.put")
+
+	g.AddEdge(a, aFirst, Create)
+	g.AddEdge(a, cont, Continue)
+	g.AddEdge(aFirst, cFirst, Create)
+	g.AddEdge(aFirst, aPut, Continue)
+	g.AddEdge(cFirst, cGet, Continue)
+	g.AddEdge(cGet, cPut, Continue)
+	g.AddEdge(aPut, cGet, Get) // C gets A: only reachable through A
+
+	g.SetLast(0, cont)
+	g.SetLast(aID, aPut)
+	g.SetLast(cID, cPut)
+	g.SetGot(aID, cGet)
+	return g
+}
+
+// buildSelfGet models a future whose get strand lies inside the future
+// itself — the recorded get edge stays within one future task.
+func buildSelfGet() *Graph {
+	g := New()
+	a := g.NewNode(0, "a")
+	fID := g.NewFuture(0)
+	first := g.NewNode(fID, "F.first")
+	cont := g.NewNode(0, "cont")
+	fGet := g.NewNode(fID, "F.get")
+	fPut := g.NewNode(fID, "F.put")
+
+	g.AddEdge(a, first, Create)
+	g.AddEdge(a, cont, Continue)
+	g.AddEdge(first, fGet, Continue)
+	g.AddEdge(fGet, fPut, Continue)
+	g.AddEdge(fPut, fGet, Get) // within future fID (and cyclic)
+
+	g.SetLast(0, cont)
+	g.SetLast(fID, fPut)
+	g.SetGot(fID, fGet)
+	return g
+}
+
+func TestValidateRejectsAdversarialDags(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want string // invariant ID the error must cite
+	}{
+		{"sibling-smuggle", buildSiblingSmuggle(), "get-reachability"},
+		{"descendant-get", buildDescendantGet(), "get-reachability"},
+		{"self-get", buildSelfGet(), ""}, // acyclic or sp-partition, either is correct
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a non-SF dag", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error does not cite %q: %v", c.name, c.want, err)
+		}
+		if !strings.Contains(err.Error(), "§2") {
+			t.Errorf("%s: error does not cite the paper clause: %v", c.name, err)
+		}
+	}
+}
+
+func TestInvariantsExported(t *testing.T) {
+	invs := Invariants()
+	if len(invs) < 5 {
+		t.Fatalf("Invariants() returned %d entries, want >= 5", len(invs))
+	}
+	seen := map[string]bool{}
+	for _, v := range invs {
+		if v.ID == "" || v.Clause == "" || v.Summary == "" {
+			t.Errorf("incomplete invariant: %+v", v)
+		}
+		if seen[v.ID] {
+			t.Errorf("duplicate invariant ID %q", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	for _, id := range []string{"single-touch", "get-reachability"} {
+		if !seen[id] {
+			t.Errorf("invariant %q missing from Invariants()", id)
+		}
+	}
+}
+
+// TestValidateAgreesWithCheckedMode runs each executable fixture twice —
+// once recorded and validated post hoc, once under the scheduler's
+// checked mode — and asserts the two enforcement layers reach the same
+// verdict. Fixtures that deadlock without checking (a self-get) only run
+// checked; their dag-shaped counterparts are covered above.
+func TestValidateAgreesWithCheckedMode(t *testing.T) {
+	type fixture struct {
+		name         string
+		prog         func(*sched.Task)
+		valid        bool
+		checkedOnly  bool // unchecked execution would deadlock
+		needParallel bool // serial inline execution would deadlock
+	}
+	backCh := make(chan *sched.Future, 1)
+	selfCh := make(chan *sched.Future, 1)
+	fixtures := []fixture{
+		{
+			name: "chained-futures",
+			prog: func(tk *sched.Task) {
+				a := tk.Create(func(*sched.Task) any { return 1 })
+				b := tk.Create(func(c *sched.Task) any { return c.Get(a).(int) + 1 })
+				tk.Get(b)
+			},
+			valid: true,
+		},
+		{
+			name: "returned-handle",
+			prog: func(tk *sched.Task) {
+				outer := tk.Create(func(c *sched.Task) any {
+					return c.Create(func(*sched.Task) any { return 42 })
+				})
+				tk.Get(tk.Get(outer).(*sched.Future))
+			},
+			valid: true,
+		},
+		{
+			name: "spawned-child-create",
+			prog: func(tk *sched.Task) {
+				var h *sched.Future
+				tk.Spawn(func(c *sched.Task) {
+					h = c.Create(func(*sched.Task) any { return 9 })
+				})
+				tk.Sync()
+				tk.Get(h)
+			},
+			valid: true,
+		},
+		{
+			name: "backward-handle",
+			prog: func(tk *sched.Task) {
+				tk.Create(func(c *sched.Task) any { return c.Get(<-backCh) })
+				producer := tk.Create(func(*sched.Task) any { return 7 })
+				backCh <- producer
+			},
+			valid:        false,
+			needParallel: true,
+		},
+		{
+			name: "self-get",
+			prog: func(tk *sched.Task) {
+				h := tk.Create(func(c *sched.Task) any { return c.Get(<-selfCh) })
+				selfCh <- h
+			},
+			valid:        false,
+			checkedOnly:  true,
+			needParallel: true,
+		},
+	}
+
+	for _, f := range fixtures {
+		opts := sched.Options{Serial: !f.needParallel, Workers: 1}
+
+		if !f.checkedOnly {
+			rec := NewRecorder()
+			recOpts := opts
+			recOpts.Tracer = rec
+			if _, err := sched.Run(recOpts, f.prog); err != nil {
+				t.Fatalf("%s: recorded run failed: %v", f.name, err)
+			}
+			verr := rec.G.Validate()
+			if f.valid && verr != nil {
+				t.Errorf("%s: Validate rejected a valid fixture: %v", f.name, verr)
+			}
+			if !f.valid && verr == nil {
+				t.Errorf("%s: Validate accepted an invalid fixture", f.name)
+			}
+		}
+
+		chkOpts := opts
+		chkOpts.CheckStructure = true
+		_, cerr := runChecked(chkOpts, f.prog)
+		if f.valid && cerr != nil {
+			t.Errorf("%s: checked mode rejected a valid fixture: %v", f.name, cerr)
+		}
+		if !f.valid && cerr == nil {
+			t.Errorf("%s: checked mode accepted an invalid fixture", f.name)
+		}
+	}
+}
+
+// runChecked runs prog and converts a serial-mode panic (how checked
+// violations surface without workers) into an error like parallel mode.
+func runChecked(opts sched.Options, prog func(*sched.Task)) (c sched.Counts, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicErr{r}
+		}
+	}()
+	return sched.Run(opts, prog)
+}
+
+type panicErr struct{ v any }
+
+func (p *panicErr) Error() string { return "panic: " + toString(p.v) }
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return "non-string panic"
+}

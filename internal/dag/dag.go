@@ -380,9 +380,13 @@ func (g *Graph) SerialOrder() []*Node {
 //     restriction).
 //  5. SP edges connect same-future strands; create/get edges connect
 //     distinct futures.
+//
+// Each violation cites the invariant it breaks; the full list is
+// exported by Invariants(), and the scheduler's checked mode and the
+// static analyzer cite the same identifiers.
 func (g *Graph) Validate() error {
 	if _, err := g.Topological(); err != nil {
-		return err
+		return fmt.Errorf("dag: %s violated: %w", invAcyclic.Cite(), err)
 	}
 	nodes := g.Nodes()
 	futures := g.Futures()
@@ -391,17 +395,17 @@ func (g *Graph) Validate() error {
 		for _, e := range n.Out {
 			sameFut := e.From.Future == e.To.Future
 			if e.Kind.IsSP() && !sameFut {
-				return fmt.Errorf("dag: SP edge %v crosses futures %d->%d", e.Kind, e.From.Future, e.To.Future)
+				return fmt.Errorf("dag: %s violated: SP edge %v crosses futures %d->%d", invSPPartition.Cite(), e.Kind, e.From.Future, e.To.Future)
 			}
 			if !e.Kind.IsSP() && sameFut {
-				return fmt.Errorf("dag: non-SP edge %v within future %d", e.Kind, e.From.Future)
+				return fmt.Errorf("dag: %s violated: non-SP edge %v within future %d", invSPPartition.Cite(), e.Kind, e.From.Future)
 			}
 		}
 	}
 
 	for _, f := range futures {
 		if f.First == nil {
-			return fmt.Errorf("dag: future %d has no first node", f.ID)
+			return fmt.Errorf("dag: %s violated: future %d has no first node", invUniqueEntry.Cite(), f.ID)
 		}
 		getEdges := 0
 		for _, n := range nodes {
@@ -410,20 +414,20 @@ func (g *Graph) Validate() error {
 			}
 			for _, e := range n.In {
 				if e.Kind == Create && n != f.First {
-					return fmt.Errorf("dag: create edge into non-first node %v of future %d", n, f.ID)
+					return fmt.Errorf("dag: %s violated: create edge into non-first node %v of future %d", invUniqueEntry.Cite(), n, f.ID)
 				}
 			}
 			for _, e := range n.Out {
 				if e.Kind == Get {
 					if f.Last != nil && n != f.Last {
-						return fmt.Errorf("dag: get edge out of non-last node %v of future %d", n, f.ID)
+						return fmt.Errorf("dag: %s violated: get edge out of non-last node %v of future %d", invUniqueEntry.Cite(), n, f.ID)
 					}
 					getEdges++
 				}
 			}
 		}
 		if getEdges > 1 {
-			return fmt.Errorf("dag: future %d touched %d times (single-touch violated)", f.ID, getEdges)
+			return fmt.Errorf("dag: %s violated: future %d touched %d times", invSingleTouch.Cite(), f.ID, getEdges)
 		}
 	}
 
@@ -440,10 +444,10 @@ func (g *Graph) Validate() error {
 			}
 		}
 		if createNode == nil {
-			return fmt.Errorf("dag: future %d has no create edge", f.ID)
+			return fmt.Errorf("dag: %s violated: future %d has no create edge", invUniqueEntry.Cite(), f.ID)
 		}
 		if !g.reachAvoidingFuture(createNode, f.Got, f.ID) {
-			return fmt.Errorf("dag: no handle-safe path from create of future %d to its get", f.ID)
+			return fmt.Errorf("dag: %s violated: no handle-safe path from create of future %d to its get", invGetReachability.Cite(), f.ID)
 		}
 	}
 	return nil

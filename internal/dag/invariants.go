@@ -1,0 +1,23 @@
+package dag
+
+import "sforder/internal/contract"
+
+// Invariant is one structured-futures restriction (paper §2). The
+// canonical definitions live in internal/contract so that this
+// validator, the scheduler's checked mode (sched.Options.CheckStructure),
+// and the static analyzer (internal/analysis, cmd/sfvet) all cite the
+// same identifiers and paper clauses for the same class of violation.
+type Invariant = contract.Invariant
+
+// Invariants returns the full list of SF-dag invariants this package's
+// Validate enforces, in citation order.
+func Invariants() []Invariant { return contract.All() }
+
+// Shorthands for the invariants Validate cites.
+var (
+	invSingleTouch     = contract.SingleTouch
+	invGetReachability = contract.GetReachability
+	invSPPartition     = contract.SPPartition
+	invUniqueEntry     = contract.UniqueEntry
+	invAcyclic         = contract.Acyclic
+)

@@ -92,6 +92,11 @@ type FutureTask struct {
 	done   chan struct{}
 	gotten atomic.Bool
 	job    *job // the task's schedulable body, claimable by Get
+
+	// Checked-mode state (Options.CheckStructure); see task.go.
+	createPC uintptr        // call site of the Create
+	firstGet atomic.Uintptr // call site of the first (winning) Get
+	putEpoch int64          // highest future ID existing at the put
 }
 
 // Last returns the task's put strand (nil until the task completes).
@@ -186,6 +191,17 @@ type Options struct {
 	// characterization runs). Off by default so baseline timing runs pay
 	// no per-access atomic cost.
 	CountAccesses bool
+	// CheckStructure enables the on-the-fly structured-futures checker:
+	// every Create and Get additionally verifies the SF restrictions
+	// (paper §2) in O(1) per operation — single-touch with full
+	// create/first-get/second-get site reporting, gets from inside the
+	// created task (which would otherwise deadlock), and handles that
+	// flowed backwards against the program order (a get the create's
+	// continuation cannot reach). Violations panic with the offending
+	// source sites; in parallel mode the panic surfaces as Run's error.
+	// Off by default: the unchecked paths stay free of the site-capture
+	// and visibility-horizon bookkeeping.
+	CheckStructure bool
 }
 
 // Counts are cheap engine-side execution statistics (Figure 3).
@@ -211,6 +227,7 @@ type engine struct {
 	opts    Options
 	tracer  Tracer
 	checker AccessChecker
+	check   bool // Options.CheckStructure, hoisted for the hot paths
 
 	strandID atomic.Uint64
 	futureID atomic.Int64
@@ -233,6 +250,7 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 		opts:    opts,
 		tracer:  opts.Tracer,
 		checker: opts.Checker,
+		check:   opts.CheckStructure,
 		abortCh: make(chan struct{}),
 	}
 	rootFut := e.newFuture(nil)
@@ -337,6 +355,7 @@ type syncBlock struct {
 	children    []*job  // spawned child jobs, for inline draining
 	childSinks  []*Strand
 	waitCh      chan struct{}
+	joinEpoch   int64 // checked mode: max future ID visible to a joined child
 }
 
 // job is a schedulable unit: the root body, a spawned child body, or a
@@ -479,6 +498,12 @@ func (e *engine) runBody(t *Task, w *worker) {
 		if e.tracer != nil {
 			e.tracer.OnPut(sink, f)
 		}
+		if e.check {
+			// Handles the body made visible through its put: everything
+			// that exists now. Written before close(done), so getters
+			// observe it after the done happens-before edge.
+			f.putEpoch = e.futureID.Load() - 1
+		}
 		close(f.done)
 		return
 	}
@@ -489,6 +514,11 @@ func (e *engine) runBody(t *Task, w *worker) {
 	}
 	b := t.parentBlock
 	b.mu.Lock()
+	if e.check {
+		if ep := e.futureID.Load() - 1; ep > b.joinEpoch {
+			b.joinEpoch = ep
+		}
+	}
 	b.childSinks = append(b.childSinks, sink)
 	b.outstanding--
 	if b.outstanding == 0 && b.waitCh != nil {

@@ -1,0 +1,99 @@
+package sched
+
+// Checked mode (Options.CheckStructure): on-the-fly enforcement of the
+// structured-futures restrictions of paper §2, complementing the
+// post-hoc dag validator (internal/dag) and the static analyzer
+// (internal/analysis, cmd/sfvet). Unlike the validator it needs no
+// recorded dag and adds O(1) work per Create/Get:
+//
+//   - single-touch: the engine's existing atomic touch bit, upgraded to
+//     report the Create site and both Get sites;
+//   - get-reachability, case "get inside the created task": the gotten
+//     future must not be the getter's own task or an ancestor of it —
+//     such a Get can only be reached through the created task (and would
+//     deadlock the unchecked engine);
+//   - get-reachability, case "handle flowed backwards": each function
+//     instance carries a visibility horizon (Task.horizon), the highest
+//     future ID that can structurally have reached it — raised by its
+//     own creates, by gets (a put publishes every handle existing at the
+//     put), and by sync joins (children publish their creations to the
+//     join). Getting a future above the horizon means the handle crossed
+//     between parallel strands through unsynchronized memory: a handle
+//     race the create's continuation cannot sequentially reach.
+//
+// The horizon check is sound for sequentially valid flows (it never
+// flags a structured program: every legal way a handle can arrive —
+// closure capture at creation, a gotten future's put, a sync join —
+// raises the horizon first) but, like the detector itself, it is
+// execution-dependent: an unlucky parallel schedule can order a smuggled
+// handle's creation before the getter's task and escape the check. The
+// dag validator remains the exhaustive reference.
+
+import (
+	"fmt"
+	"runtime"
+
+	"sforder/internal/contract"
+)
+
+// callerPC captures the program counter skip+1 frames above the caller
+// (0 = the caller's caller) without symbolizing it; formatting cost is
+// paid only if a diagnostic fires.
+func callerPC(skip int) uintptr {
+	var pcs [1]uintptr
+	if runtime.Callers(skip+2, pcs[:]) == 0 {
+		return 0
+	}
+	return pcs[0]
+}
+
+// site renders a captured PC as file:line.
+func site(pc uintptr) string {
+	if pc == 0 {
+		return "unknown site"
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	fr, _ := frames.Next()
+	if fr.File == "" {
+		return "unknown site"
+	}
+	return fmt.Sprintf("%s:%d", fr.File, fr.Line)
+}
+
+// doubleTouchMsg formats the single-touch violation panic. The create
+// and first-get sites are captured only in checked mode; without them
+// the message says how to get them.
+func (ft *FutureTask) doubleTouchMsg(second uintptr) string {
+	msg := fmt.Sprintf("sched: structure violation, %s: future f%d touched twice\n\tsecond get at %s",
+		contract.SingleTouch.Cite(), ft.ID, site(second))
+	first := ft.firstGet.Load()
+	if first == 0 && ft.createPC == 0 {
+		return msg + "\n\t(enable CheckStructure to record the create and first-get sites)"
+	}
+	if first != 0 {
+		msg += fmt.Sprintf("\n\tfirst get at %s", site(first))
+	}
+	if ft.createPC != 0 {
+		msg += fmt.Sprintf("\n\tcreated at %s", site(ft.createPC))
+	}
+	return msg
+}
+
+// checkGetStructure runs the checked-mode get-reachability validation
+// for a Get of ft at the call site pc, after the caller won the touch
+// bit and before it blocks on the future.
+func (t *Task) checkGetStructure(ft *FutureTask, pc uintptr) {
+	ft.firstGet.Store(pc)
+	for p := t.fut; p != nil; p = p.Parent {
+		if p == ft {
+			panic(fmt.Sprintf(
+				"sched: structure violation, %s: future f%d gotten at %s from inside the created task (or a task it created); the Get is only reachable through the created task, not from the Create's continuation (created at %s)",
+				contract.GetReachability.Cite(), ft.ID, site(pc), site(ft.createPC)))
+		}
+	}
+	if int64(ft.ID) > t.horizon {
+		panic(fmt.Sprintf(
+			"sched: structure violation, %s: future f%d (created at %s) gotten at %s, but its handle cannot have structurally flowed to this task (visibility horizon f%d); the handle crossed parallel strands through unsynchronized memory",
+			contract.GetReachability.Cite(), ft.ID, site(ft.createPC), site(pc), t.horizon))
+	}
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanicContaining runs fn and asserts it panics with a message
+// containing every want substring.
+func mustPanicContaining(t *testing.T, fn func(), want ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value is %T, want string", r)
+		}
+		for _, w := range want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("panic message missing %q:\n%s", w, msg)
+			}
+		}
+	}()
+	fn()
+}
+
+// TestDoubleGetCheckedSites: with CheckStructure the single-touch panic
+// reports the create, first-get, and second-get sites.
+func TestDoubleGetCheckedSites(t *testing.T) {
+	mustPanicContaining(t, func() {
+		Run(Options{Serial: true, CheckStructure: true}, func(tk *Task) {
+			h := tk.Create(func(*Task) any { return 1 })
+			tk.Get(h)
+			tk.Get(h)
+		})
+	},
+		"single-touch", "§2",
+		"created at", "first get at", "second get at",
+		"structcheck_test.go")
+}
+
+// TestDoubleGetUncheckedHint: without CheckStructure the panic still
+// names the invariant and the second touch site, plus a hint about the
+// missing sites.
+func TestDoubleGetUncheckedHint(t *testing.T) {
+	mustPanicContaining(t, func() {
+		Run(Options{Serial: true}, func(tk *Task) {
+			h := tk.Create(func(*Task) any { return 1 })
+			tk.Get(h)
+			tk.Get(h)
+		})
+	},
+		"single-touch", "second get at", "structcheck_test.go", "CheckStructure")
+}
+
+// TestCheckedSelfGet: a future body getting its own handle (smuggled in
+// through a channel) is a get-reachability violation; unchecked it would
+// deadlock, checked mode panics with both sites.
+func TestCheckedSelfGet(t *testing.T) {
+	ch := make(chan *Future, 1)
+	_, err := Run(Options{Workers: 1, CheckStructure: true}, func(tk *Task) {
+		h := tk.Create(func(c *Task) any {
+			return c.Get(<-ch)
+		})
+		ch <- h
+	})
+	if err == nil {
+		t.Fatal("expected structure violation error, got nil")
+	}
+	for _, w := range []string{"get-reachability", "§2", "inside the created task", "created at", "structcheck_test.go"} {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("error missing %q: %v", w, err)
+		}
+	}
+}
+
+// TestCheckedBackwardHandle: a handle passed through a channel to a
+// future task created before the handle existed violates
+// get-reachability (the create's continuation cannot reach that get).
+func TestCheckedBackwardHandle(t *testing.T) {
+	ch := make(chan *Future, 1)
+	_, err := Run(Options{Workers: 1, CheckStructure: true}, func(tk *Task) {
+		tk.Create(func(c *Task) any { // consumer created first
+			return c.Get(<-ch)
+		})
+		producer := tk.Create(func(*Task) any { return 7 })
+		ch <- producer
+	})
+	if err == nil {
+		t.Fatal("expected structure violation error, got nil")
+	}
+	for _, w := range []string{"get-reachability", "horizon", "structcheck_test.go"} {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("error missing %q: %v", w, err)
+		}
+	}
+}
+
+// TestCheckedValidPrograms: structured programs run clean under
+// CheckStructure in serial and parallel modes.
+func TestCheckedValidPrograms(t *testing.T) {
+	programs := map[string]func(*Task){
+		"chained-futures": func(tk *Task) {
+			// Sibling gets a captured earlier handle — the pipeline idiom.
+			a := tk.Create(func(*Task) any { return 1 })
+			b := tk.Create(func(c *Task) any { return c.Get(a).(int) + 1 })
+			if v := tk.Get(b).(int); v != 2 {
+				panic("bad chain value")
+			}
+		},
+		"returned-handle": func(tk *Task) {
+			// A future returns a handle it created; the getter may get it:
+			// the put publishes the inner handle.
+			outer := tk.Create(func(c *Task) any {
+				return c.Create(func(*Task) any { return 42 })
+			})
+			inner := tk.Get(outer).(*Future)
+			if v := tk.Get(inner).(int); v != 42 {
+				panic("bad inner value")
+			}
+		},
+		"spawned-child-create": func(tk *Task) {
+			// A spawned child creates the future; the sync join publishes
+			// the handle to the parent.
+			var h *Future
+			tk.Spawn(func(c *Task) {
+				h = c.Create(func(*Task) any { return 9 })
+			})
+			tk.Sync()
+			if v := tk.Get(h).(int); v != 9 {
+				panic("bad child-created value")
+			}
+		},
+		"parallel-for": func(tk *Task) {
+			tk.ParallelFor(0, 64, 8, func(*Task, int) {})
+		},
+	}
+	for name, prog := range programs {
+		for _, opts := range []Options{
+			{Serial: true, CheckStructure: true},
+			{Workers: 2, CheckStructure: true},
+		} {
+			if _, err := Run(opts, prog); err != nil {
+				t.Errorf("%s (serial=%v): unexpected error: %v", name, opts.Serial, err)
+			}
+		}
+	}
+}

@@ -1,7 +1,5 @@
 package sched
 
-import "fmt"
-
 // Task is the execution context of one function instance (the root body,
 // a spawned child, or a future task body). User code receives a *Task
 // and expresses parallelism through its methods. A Task must only be
@@ -22,6 +20,17 @@ type Task struct {
 	isFutureBody bool       // future-task body (root included)
 	parentBlock  *syncBlock // spawned children: region to join on return
 	label        string     // inherited by strands this instance creates
+
+	// horizon is the checked-mode visibility horizon: the highest future
+	// ID whose handle can structurally have flowed to this function
+	// instance (paper §2 get-reachability). It starts at the creator's
+	// horizon (closure capture), and rises when this instance creates a
+	// future, gets one (the put publishes everything existing at the
+	// put), or syncs spawned children (the join publishes their
+	// creations). A Get of a future above the horizon means the handle
+	// arrived through unsynchronized shared memory — a handle race.
+	// Maintained only when Options.CheckStructure is set.
+	horizon int64
 }
 
 // Label tags the current strand and all later strands of this function
@@ -74,6 +83,7 @@ func (t *Task) Spawn(fn func(*Task)) {
 		cur:         child,
 		body:        fn,
 		parentBlock: b,
+		horizon:     t.horizon,
 	}}
 	b.mu.Lock()
 	b.spawned = true
@@ -126,6 +136,13 @@ func (t *Task) closeRegion(b *syncBlock) {
 	}
 	t.frame.block = nil
 	t.cur = s
+	if e.check {
+		b.mu.Lock()
+		if b.joinEpoch > t.horizon {
+			t.horizon = b.joinEpoch
+		}
+		b.mu.Unlock()
+	}
 }
 
 // drainAndWait first runs not-yet-started spawned children of the region
@@ -174,6 +191,13 @@ func (t *Task) Create(fn func(*Task) any) *Future {
 	u := t.cur
 	_, placeholder := t.ensureBlock()
 	ft := e.newFuture(t.fut)
+	childHorizon := t.horizon
+	if e.check {
+		ft.createPC = callerPC(1)
+		if id := int64(ft.ID); id > t.horizon {
+			t.horizon = id
+		}
+	}
 	first := e.newStrand(ft)
 	cont := e.newStrand(t.fut)
 	cont.setLabel(t.label)
@@ -187,6 +211,7 @@ func (t *Task) Create(fn func(*Task) any) *Future {
 		cur:          first,
 		bodyV:        fn,
 		isFutureBody: true,
+		horizon:      childHorizon,
 	}}
 	ft.job = j
 	e.pending.Add(1)
@@ -204,13 +229,19 @@ func (t *Task) Create(fn func(*Task) any) *Future {
 // Get waits for the future to complete and returns its value. If the
 // future task has not started yet, the calling worker claims and runs it
 // inline, so Get never deadlocks. Touching a handle twice panics: it
-// violates the single-touch restriction of structured futures.
+// violates the single-touch restriction of structured futures. With
+// Options.CheckStructure the panic additionally reports the Create site
+// and the first Get site, and Get also verifies the get-reachability
+// restriction (paper §2) before blocking.
 func (t *Task) Get(f *Future) any {
 	e := t.eng
 	e.cGets.Add(1)
 	ft := f.ft
 	if !ft.gotten.CompareAndSwap(false, true) {
-		panic(fmt.Sprintf("sched: future %d touched twice (single-touch violated)", ft.ID))
+		panic(ft.doubleTouchMsg(callerPC(1)))
+	}
+	if e.check {
+		t.checkGetStructure(ft, callerPC(1))
 	}
 	select {
 	case <-ft.done:
@@ -224,6 +255,12 @@ func (t *Task) Get(f *Future) any {
 				panic(errAbortUnwind{})
 			}
 		}
+	}
+	if e.check && ft.putEpoch > t.horizon {
+		// The put publishes every handle existing when the body
+		// finished: they may have flowed here through the got value or
+		// memory the body wrote before completing.
+		t.horizon = ft.putEpoch
 	}
 	u := t.cur
 	g := e.newStrand(t.fut)

@@ -24,12 +24,15 @@
 // conflicting accesses to the same address — soundly and completely for
 // the given input, per the guarantees of the underlying algorithms.
 //
-// Structured futures obey two restrictions (checked at runtime where
-// possible): each future handle is touched by Get at most once, and the
-// Get must be reachable from the Create's continuation without passing
-// through the created task. Violating the first panics; violating the
-// second voids the detector's guarantees (use internal/dag's validator
-// in tests to check programs).
+// Structured futures obey two restrictions (paper §2): each future
+// handle is touched by Get at most once (single-touch), and the Get must
+// be reachable from the Create's continuation without passing through
+// the created task (get-reachability). Violating the first always
+// panics. Three complementary tools enforce the full contract:
+// Config.CheckStructure validates both restrictions on the fly with O(1)
+// overhead per operation, CheckStructured records a serial run and
+// validates the dag exhaustively, and cmd/sfvet statically analyzes the
+// program source before any execution.
 package sforder
 
 import (
@@ -139,6 +142,17 @@ type Config struct {
 	// granularity is unchanged; loop-heavy workloads check in much less
 	// often.
 	StrandFilter bool
+	// CheckStructure enables the on-the-fly structured-futures checker:
+	// every Create/Get validates the SF restrictions (paper §2) in O(1)
+	// per operation — single-touch violations panic with the Create,
+	// first-Get, and second-Get sites, and gets whose handle cannot have
+	// structurally reached the getting task (a get inside the created
+	// task, or a handle smuggled backwards through shared memory) panic
+	// instead of silently voiding the detector's guarantees. Complements
+	// the post-hoc CheckStructured validator (which needs a recorded
+	// dag) and the static cmd/sfvet analyzer. Violations surface as
+	// Run's error in parallel mode and panic in Serial mode.
+	CheckStructure bool
 	// Backend selects the shadow-table layout for full detection.
 	Backend Backend
 }
@@ -205,7 +219,7 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 		return nil, fmt.Errorf("sforder: ReadersLR is only sound for the SFOrder and WSPOrder detectors")
 	}
 
-	opts := sched.Options{Serial: cfg.Serial, Workers: cfg.Workers}
+	opts := sched.Options{Serial: cfg.Serial, Workers: cfg.Workers, CheckStructure: cfg.CheckStructure}
 	var hist *detect.History
 	if reach != nil {
 		opts.Tracer = reach

@@ -1,0 +1,67 @@
+package sforder_test
+
+import (
+	"strings"
+	"testing"
+
+	"sforder"
+)
+
+// TestCheckStructureDoubleGet: with Config.CheckStructure a double Get
+// surfaces through Run's error (parallel mode) and names all three
+// sites.
+func TestCheckStructureDoubleGet(t *testing.T) {
+	_, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 1, CheckStructure: true},
+		func(tk *sforder.Task) {
+			h := tk.Create(func(*sforder.Task) any { return 1 })
+			tk.Get(h)
+			tk.Get(h)
+		})
+	if err == nil {
+		t.Fatal("expected single-touch violation error, got nil")
+	}
+	for _, w := range []string{"single-touch", "§2", "created at", "first get at", "second get at", "structure_test.go"} {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("error missing %q: %v", w, err)
+		}
+	}
+}
+
+// TestCheckStructureBackwardHandle: a handle smuggled through a channel
+// to a future created before it existed is caught at the Get.
+func TestCheckStructureBackwardHandle(t *testing.T) {
+	ch := make(chan *sforder.Future, 1)
+	_, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 1, CheckStructure: true},
+		func(tk *sforder.Task) {
+			tk.Create(func(c *sforder.Task) any { return c.Get(<-ch) })
+			ch <- tk.Create(func(*sforder.Task) any { return 7 })
+		})
+	if err == nil {
+		t.Fatal("expected get-reachability violation error, got nil")
+	}
+	if !strings.Contains(err.Error(), "get-reachability") {
+		t.Errorf("error does not cite get-reachability: %v", err)
+	}
+}
+
+// TestCheckStructureValidProgram: checked mode does not disturb a
+// structured program, and detection results are unchanged.
+func TestCheckStructureValidProgram(t *testing.T) {
+	prog := func(tk *sforder.Task) {
+		h := tk.Create(func(c *sforder.Task) any {
+			c.Write(0)
+			return 1
+		})
+		tk.Write(0) // races with the future body
+		tk.Get(h)
+	}
+	for _, check := range []bool{false, true} {
+		res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Serial: true, CheckStructure: check}, prog)
+		if err != nil {
+			t.Fatalf("CheckStructure=%v: unexpected error: %v", check, err)
+		}
+		if res.RaceCount != 1 {
+			t.Errorf("CheckStructure=%v: RaceCount = %d, want 1", check, res.RaceCount)
+		}
+	}
+}
