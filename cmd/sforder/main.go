@@ -7,6 +7,12 @@
 //	sforder -table abl                 # reader-policy ablation
 //	sforder -bench sw -detector sforder -mode full -workers 2
 //
+// Observability flags for single-benchmark runs:
+//
+//	sforder -bench sw -detector sforder -stats            # registry dump
+//	sforder -bench sw -detector sforder -trace out.json   # Chrome trace
+//	sforder -bench sw -detector sforder -http :6060 ...   # expvar + pprof
+//
 // -scale selects preset input sizes (test, bench, large); see
 // EXPERIMENTS.md for how each table corresponds to the paper's figures.
 package main
@@ -19,6 +25,7 @@ import (
 
 	"sforder/internal/detect"
 	"sforder/internal/harness"
+	"sforder/internal/obsv"
 	"sforder/internal/workload"
 )
 
@@ -33,6 +40,10 @@ func main() {
 		mode     = flag.String("mode", "full", "mode for -bench: base, reach, full")
 		policy   = flag.String("policy", "all", "reader policy for full mode: all, lr")
 		jsonOut  = flag.Bool("json", false, "emit the table as JSON instead of text")
+		stats    = flag.Bool("stats", false, "with -bench: print the stats-registry snapshot after the run")
+		traceOut = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
+		httpAddr = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
+		dedup    = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
 	)
 	flag.Parse()
 
@@ -46,15 +57,44 @@ func main() {
 	}
 	benches := workload.All(sc)
 
+	// The HTTP endpoint outlives a single run: the expvar page always
+	// reflects the most recently attached registry.
+	var reg *obsv.Registry
+	if *stats || *httpAddr != "" {
+		reg = obsv.NewRegistry()
+	}
+	if *httpAddr != "" {
+		go func() {
+			if err := obsv.Serve(*httpAddr, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "sforder: -http: %v\n", err)
+			}
+		}()
+	}
+
 	switch {
 	case *table != "":
 		runTable(*table, benches, *workers, *repeats, *scale, *jsonOut)
 	case *bench != "":
-		runOne(*bench, sc, *detector, *mode, *policy, *workers)
+		runOne(*bench, sc, *detector, *mode, *policy, *workers, oneOpts{
+			reg:      reg,
+			stats:    *stats,
+			traceOut: *traceOut,
+			dedup:    *dedup,
+			block:    *httpAddr != "",
+		})
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// oneOpts carries the observability knobs of a -bench run.
+type oneOpts struct {
+	reg      *obsv.Registry
+	stats    bool
+	traceOut string
+	dedup    bool
+	block    bool // keep serving -http after the run completes
 }
 
 func runTable(table string, benches []*workload.Benchmark, workers, repeats int, scale string, jsonOut bool) {
@@ -110,7 +150,7 @@ func runTable(table string, benches []*workload.Benchmark, workers, repeats int,
 	}
 }
 
-func runOne(name string, sc workload.Scale, detector, mode, policy string, workers int) {
+func runOne(name string, sc workload.Scale, detector, mode, policy string, workers int, obs oneOpts) {
 	b := workload.ByName(name, sc)
 	if b == nil {
 		fatalf("unknown benchmark %q", name)
@@ -139,13 +179,26 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 		fatalf("unknown policy %q", policy)
 	}
 	cfg := harness.Config{
-		Detector: det,
-		Mode:     md,
-		Workers:  workers,
-		Serial:   det == harness.MultiBags,
-		Policy:   pol,
+		Detector:    det,
+		Mode:        md,
+		Workers:     workers,
+		Serial:      det == harness.MultiBags,
+		Policy:      pol,
+		DedupByAddr: obs.dedup,
+		Registry:    obs.reg,
+	}
+	var traceFile *os.File
+	if obs.traceOut != "" {
+		f, err := os.Create(obs.traceOut)
+		check(err)
+		traceFile = f
+		cfg.Trace = obsv.NewTraceWriter(f)
 	}
 	res, err := harness.Run(b, cfg)
+	if cfg.Trace != nil {
+		check(cfg.Trace.Close())
+		check(traceFile.Close())
+	}
 	check(err)
 	fmt.Printf("%s  detector=%v mode=%v workers=%d\n", b, det, md, workers)
 	fmt.Printf("  time      %v\n", res.Elapsed)
@@ -156,6 +209,17 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 	fmt.Printf("  reach mem %d bytes\n", res.ReachMem)
 	if md == harness.Full {
 		fmt.Printf("  hist mem  %d bytes\n", res.HistMem)
+	}
+	if obs.traceOut != "" {
+		fmt.Printf("  trace     %s (chrome://tracing, https://ui.perfetto.dev)\n", obs.traceOut)
+	}
+	if obs.stats {
+		fmt.Println("  stats registry:")
+		obs.reg.WriteText(os.Stdout)
+	}
+	if obs.block {
+		fmt.Println("serving -http; press Ctrl-C to exit")
+		select {}
 	}
 }
 

@@ -31,8 +31,10 @@ package core
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"sforder/internal/bitset"
+	"sforder/internal/obsv"
 	"sforder/internal/om"
 	"sforder/internal/sched"
 )
@@ -237,13 +239,29 @@ func (r *Reach) Queries() uint64 { return r.queries.Load() }
 // §3.4 argument bounds this by O(k).
 func (r *Reach) GPMerges() uint64 { return r.gpMerges.Load() }
 
+// nodeSize is the real per-strand record size, derived rather than
+// hard-coded so the Figure 5 numbers cannot drift as the struct evolves
+// (a test pins it to the expected value).
+var nodeSize = int(unsafe.Sizeof(node{}))
+
 // MemBytes estimates the memory footprint of the reachability component:
 // both OM lists, the per-strand node records, and all gp/cp bitmaps
 // (Figure 5).
 func (r *Reach) MemBytes() int {
-	const nodeSize = 40
 	return r.engL.MemBytes() + r.hebL.MemBytes() +
 		int(r.strands.Load())*nodeSize + int(r.setMem.Load())
+}
+
+// RegisterStats publishes the SF-Order counters (reach.*) and both OM
+// lists' maintenance counters (om.english.*, om.hebrew.*) on reg.
+func (r *Reach) RegisterStats(reg *obsv.Registry) {
+	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
+	reg.RegisterFunc("reach.gp_merges", func() int64 { return int64(r.gpMerges.Load()) })
+	reg.RegisterFunc("reach.strands", func() int64 { return int64(r.strands.Load()) })
+	reg.RegisterFunc("reach.set_mem_bytes", func() int64 { return r.setMem.Load() })
+	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
+	r.engL.RegisterStats(reg, "om.english")
+	r.hebL.RegisterStats(reg, "om.hebrew")
 }
 
 var _ sched.Tracer = (*Reach)(nil)

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAccountingSizes pins the per-strand record size to the real
+// struct layout. The old constant (nodeSize=40) had drifted; the size
+// is now unsafe.Sizeof-derived and this test pins the expected 64-bit
+// value so growth fails loudly.
+func TestAccountingSizes(t *testing.T) {
+	if nodeSize != int(unsafe.Sizeof(node{})) {
+		t.Errorf("nodeSize %d != sizeof(node) %d", nodeSize, unsafe.Sizeof(node{}))
+	}
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("expected value below is for 64-bit platforms")
+	}
+	if nodeSize != 24 {
+		t.Errorf("node grew: %d bytes, expected 24", nodeSize)
+	}
+}

@@ -24,7 +24,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"sforder/internal/obsv"
 	"sforder/internal/sched"
 )
 
@@ -222,8 +224,19 @@ func (t *shardedTable) forEach(fn func(*loc)) {
 	}
 }
 
+// locSize and pairSize are the real struct sizes, derived rather than
+// hard-coded so the memory accounting cannot drift as the structs evolve
+// (a test pins them to the expected values). entryOverhead approximates
+// a Go map entry (key + value pointer + bucket share); it is a model
+// constant, not a struct size.
+var (
+	locSize  = int(unsafe.Sizeof(loc{}))
+	pairSize = int(unsafe.Sizeof(lrPair{}))
+)
+
+const entryOverhead = 48
+
 func (t *shardedTable) memBytes() int {
-	const locSize, entryOverhead, pairSize = 56, 48, 24
 	total := 0
 	t.forEach(func(l *loc) {
 		total += locSize + entryOverhead + 8*cap(l.readers) + pairSize*len(l.pairs)
@@ -236,6 +249,12 @@ func (t *shardedTable) memBytes() int {
 type History struct {
 	opts Options
 	tbl  addrTable
+
+	// countLocks enables the shard-lock acquisition counter. It is set
+	// (before the run starts) by RegisterStats only, so the disabled hot
+	// path pays one predictable branch and nothing else.
+	countLocks   bool
+	lockAcquires atomic.Uint64
 
 	raceCount atomic.Uint64
 	raceMu    sync.Mutex
@@ -292,6 +311,9 @@ func (h *History) report(addr uint64, prev *sched.Strand, prevKind AccessKind, c
 // Read implements sched.AccessChecker: check against the last writer,
 // then record the reader per the configured policy.
 func (h *History) Read(s *sched.Strand, addr uint64) {
+	if h.countLocks {
+		h.lockAcquires.Add(1)
+	}
 	l, release := h.tbl.acquire(addr)
 	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
 		h.report(addr, w, AccessWrite, s, AccessRead)
@@ -343,6 +365,9 @@ func (h *History) updateLR(l *loc, s *sched.Strand) {
 // readers (they are subsumed: any later access racing a cleared reader
 // also races this write or was already reported — §3.6).
 func (h *History) Write(s *sched.Strand, addr uint64) {
+	if h.countLocks {
+		h.lockAcquires.Add(1)
+	}
 	l, release := h.tbl.acquire(addr)
 	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
 		h.report(addr, w, AccessWrite, s, AccessWrite)
@@ -395,8 +420,22 @@ func (h *History) RacyAddrs() []uint64 {
 	return out
 }
 
+// LockAcquires returns how many history-lock acquisitions were counted;
+// zero unless RegisterStats enabled the counter before the run.
+func (h *History) LockAcquires() uint64 { return h.lockAcquires.Load() }
+
 // MemBytes estimates the history's heap footprint.
 func (h *History) MemBytes() int { return h.tbl.memBytes() }
+
+// RegisterStats publishes the history counters (hist.*) on r and enables
+// the shard-lock acquisition counter. Call it before the run starts: the
+// enable flag is read unsynchronized by the access hot path.
+func (h *History) RegisterStats(r *obsv.Registry) {
+	h.countLocks = true
+	r.RegisterFunc("hist.races", func() int64 { return int64(h.raceCount.Load()) })
+	r.RegisterFunc("hist.lock_acquires", func() int64 { return int64(h.lockAcquires.Load()) })
+	r.RegisterFunc("hist.mem_bytes", func() int64 { return int64(h.MemBytes()) })
+}
 
 // MaxReaders returns the largest retained reader count over all
 // locations right now — used by tests asserting the 2k bound of the

@@ -3,6 +3,7 @@ package detect
 import (
 	"sync/atomic"
 
+	"sforder/internal/obsv"
 	"sforder/internal/sched"
 )
 
@@ -36,6 +37,11 @@ type StrandFilter struct {
 
 // Dropped returns how many redundant accesses were filtered out.
 func (f *StrandFilter) Dropped() uint64 { return f.dropped.Load() }
+
+// RegisterStats publishes the filter's drop counter on r.
+func (f *StrandFilter) RegisterStats(r *obsv.Registry) {
+	r.RegisterFunc("hist.filter_dropped", func() int64 { return int64(f.dropped.Load()) })
+}
 
 // filterCacheSize is the per-strand direct-mapped cache size; must be a
 // power of two.

@@ -1,6 +1,9 @@
 package detect
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
 // twoLevelTable is the paper's access-history layout (§4): a two-level
 // table that acts like a direct-mapped cache. The first level is a
@@ -86,8 +89,9 @@ func (t *twoLevelTable) forEach(fn func(*loc)) {
 }
 
 func (t *twoLevelTable) memBytes() int {
-	const locSize, pairSize = 56, 24
-	const pageOverhead = 8 + 8 + 8 + pageSize*8 // mu+num+next+slot array
+	// locSize and pairSize are the package-level unsafe.Sizeof-derived
+	// values; the page overhead is likewise the real struct size.
+	pageOverhead := int(unsafe.Sizeof(page{}))
 	total := (1 << dirBits) * 8
 	t.forEach(func(l *loc) {
 		total += locSize + 8*cap(l.readers) + pairSize*len(l.pairs)

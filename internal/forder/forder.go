@@ -32,7 +32,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"sforder/internal/obsv"
 	"sforder/internal/om"
 	"sforder/internal/sched"
 )
@@ -330,19 +332,50 @@ func (r *Reach) Queries() uint64 { return r.queries.Load() }
 // TableAllocs returns how many operation tables were allocated.
 func (r *Reach) TableAllocs() uint64 { return r.merges.Load() }
 
+// nodeSize is the real per-strand record size, derived so Figure 5's
+// F-Order column stays honest as the struct evolves.
+var nodeSize = int(unsafe.Sizeof(node{}))
+
+// lists returns a snapshot of every per-task OM list.
+func (r *Reach) lists() []*om.List {
+	r.omLists.Lock()
+	defer r.omLists.Unlock()
+	return append([]*om.List(nil), r.omLists.all...)
+}
+
 // MemBytes estimates the reachability component's footprint: every
 // per-task OM list pair, the per-strand node records, and all allocated
 // hash tables (Figure 5's F-Order column).
 func (r *Reach) MemBytes() int {
-	const nodeSize = 40
 	total := int(r.strands.Load())*nodeSize + int(r.tblMem.Load())
-	r.omLists.Lock()
-	lists := append([]*om.List(nil), r.omLists.all...)
-	r.omLists.Unlock()
-	for _, l := range lists {
+	for _, l := range r.lists() {
 		total += l.MemBytes()
 	}
 	return total
+}
+
+// RegisterStats publishes the F-Order counters (reach.*) and the
+// maintenance counters of the per-task OM lists, aggregated across all
+// tasks (om.*), on reg.
+func (r *Reach) RegisterStats(reg *obsv.Registry) {
+	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
+	reg.RegisterFunc("reach.table_allocs", func() int64 { return int64(r.merges.Load()) })
+	reg.RegisterFunc("reach.strands", func() int64 { return int64(r.strands.Load()) })
+	reg.RegisterFunc("reach.table_mem_bytes", func() int64 { return r.tblMem.Load() })
+	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
+	reg.RegisterFunc("om.lists", func() int64 { return int64(len(r.lists())) })
+	sum := func(pick func(splits, relabels, renumbers int) int) func() int64 {
+		return func() int64 {
+			total := 0
+			for _, l := range r.lists() {
+				total += pick(l.Stats())
+			}
+			return int64(total)
+		}
+	}
+	reg.RegisterFunc("om.splits", sum(func(s, _, _ int) int { return s }))
+	reg.RegisterFunc("om.relabels", sum(func(_, rl, _ int) int { return rl }))
+	reg.RegisterFunc("om.renumbers", sum(func(_, _, rn int) int { return rn }))
 }
 
 var _ sched.Tracer = (*Reach)(nil)

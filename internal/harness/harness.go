@@ -22,6 +22,7 @@ import (
 	"sforder/internal/detect"
 	"sforder/internal/forder"
 	"sforder/internal/multibags"
+	"sforder/internal/obsv"
 	"sforder/internal/sched"
 	"sforder/internal/workload"
 )
@@ -94,8 +95,18 @@ type Config struct {
 	// Filter puts the strand-local redundancy filter in front of the
 	// access history (the §6 future-work extension; ABL4).
 	Filter bool
+	// DedupByAddr keeps at most one detailed race record per address.
+	DedupByAddr bool
 	// Backend selects the shadow-table layout for Full mode.
 	Backend detect.Backend
+	// Registry, when non-nil, is attached to the run: every component
+	// registers its counters on it and Result.Stats carries the
+	// post-run snapshot. The table generators read their columns from
+	// this snapshot rather than from per-component getters.
+	Registry *obsv.Registry
+	// Trace, when non-nil, receives the run's strand timeline in Chrome
+	// trace-event JSON. The caller closes it.
+	Trace *obsv.TraceWriter
 }
 
 // Result is one measured run.
@@ -107,6 +118,10 @@ type Result struct {
 	Races    uint64
 	ReachMem int // bytes held by the reachability component
 	HistMem  int // bytes held by the access history
+	// Stats is the registry snapshot, present when Config.Registry was
+	// set. When present, Queries/Races/ReachMem/HistMem above are
+	// derived from it.
+	Stats map[string]int64
 }
 
 // reachComponent is what every reachability implementation provides.
@@ -147,12 +162,24 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 		Serial:        cfg.Serial,
 		Workers:       cfg.Workers,
 		CountAccesses: cfg.CountAccesses,
+		Stats:         cfg.Registry,
+		Trace:         cfg.Trace,
 	}
 	if reach != nil {
 		opts.Tracer = reach
+		if cfg.Registry != nil {
+			if rs, ok := reach.(interface{ RegisterStats(*obsv.Registry) }); ok {
+				rs.RegisterStats(cfg.Registry)
+			}
+		}
 	}
 	if cfg.Mode == Full {
-		hopts := detect.Options{Reach: reach, Policy: cfg.Policy, Backend: cfg.Backend}
+		hopts := detect.Options{
+			Reach:       reach,
+			Policy:      cfg.Policy,
+			Backend:     cfg.Backend,
+			DedupByAddr: cfg.DedupByAddr,
+		}
 		if cfg.Policy == detect.ReadersLR {
 			if leftOf == nil {
 				return nil, fmt.Errorf("harness: ReadersLR policy requires SF-Order")
@@ -160,8 +187,15 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 			hopts.LeftOf = leftOf
 		}
 		hist = detect.NewHistory(hopts)
+		if cfg.Registry != nil {
+			hist.RegisterStats(cfg.Registry)
+		}
 		if cfg.Filter {
-			opts.Checker = detect.NewStrandFilter(hist)
+			filter := detect.NewStrandFilter(hist)
+			if cfg.Registry != nil {
+				filter.RegisterStats(cfg.Registry)
+			}
+			opts.Checker = filter
 		} else {
 			opts.Checker = hist
 		}
@@ -178,6 +212,17 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, Elapsed: elapsed, Counts: counts}
+	if cfg.Registry != nil {
+		// With a registry attached, the registry is the source of truth:
+		// the result columns are read back from the snapshot, which is
+		// what the table generators consume.
+		res.Stats = cfg.Registry.Snapshot()
+		res.Queries = uint64(res.Stats["reach.queries"])
+		res.ReachMem = int(res.Stats["reach.mem_bytes"])
+		res.Races = uint64(res.Stats["hist.races"])
+		res.HistMem = int(res.Stats["hist.mem_bytes"])
+		return res, nil
+	}
 	if reach != nil {
 		res.Queries = reach.Queries()
 		res.ReachMem = reach.MemBytes()

@@ -6,6 +6,7 @@ import (
 	"text/tabwriter"
 
 	"sforder/internal/detect"
+	"sforder/internal/obsv"
 	"sforder/internal/workload"
 )
 
@@ -21,28 +22,32 @@ type Fig3Row struct {
 }
 
 // Fig3 characterizes every benchmark: one serial full-detection run with
-// access counting gathers all columns at once.
+// a stats registry attached gathers all columns at once — every column
+// is read from the registry snapshot rather than from per-component
+// getters, so the table and the -stats/-http surfaces can never
+// disagree.
 func Fig3(benches []*workload.Benchmark) ([]Fig3Row, error) {
 	var rows []Fig3Row
 	for _, b := range benches {
 		res, err := Run(b, Config{
-			Detector:      SFOrder,
-			Mode:          Full,
-			Serial:        true,
-			CountAccesses: true,
+			Detector: SFOrder,
+			Mode:     Full,
+			Serial:   true,
+			Registry: obsv.NewRegistry(),
 		})
 		if err != nil {
 			return nil, err
 		}
+		s := res.Stats
 		rows = append(rows, Fig3Row{
 			Bench:   b.Name,
 			N:       b.N,
 			B:       b.B,
-			Reads:   res.Counts.Reads,
-			Writes:  res.Counts.Writes,
-			Queries: res.Queries,
-			Futures: res.Counts.Futures - 1, // exclude the root, as the paper counts created futures
-			Nodes:   res.Counts.Strands,
+			Reads:   uint64(s["sched.reads"]),
+			Writes:  uint64(s["sched.writes"]),
+			Queries: uint64(s["reach.queries"]),
+			Futures: uint64(s["sched.futures"]) - 1, // exclude the root, as the paper counts created futures
+			Nodes:   uint64(s["sched.strands"]),
 		})
 	}
 	return rows, nil
@@ -204,26 +209,30 @@ type Fig5Row struct {
 }
 
 // Fig5 measures reachability-maintenance memory under the reach
-// configuration (serial runs keep the measurement deterministic).
+// configuration (serial runs keep the measurement deterministic). The
+// memory column is read from each run's registry snapshot
+// (reach.mem_bytes).
 func Fig5(benches []*workload.Benchmark) ([]Fig5Row, error) {
 	var rows []Fig5Row
 	for _, b := range benches {
-		fo, err := Run(b, Config{Detector: FOrder, Mode: Reach, Serial: true})
+		fo, err := Run(b, Config{Detector: FOrder, Mode: Reach, Serial: true, Registry: obsv.NewRegistry()})
 		if err != nil {
 			return nil, err
 		}
-		sf, err := Run(b, Config{Detector: SFOrder, Mode: Reach, Serial: true})
+		sf, err := Run(b, Config{Detector: SFOrder, Mode: Reach, Serial: true, Registry: obsv.NewRegistry()})
 		if err != nil {
 			return nil, err
 		}
+		foMem := fo.Stats["reach.mem_bytes"]
+		sfMem := sf.Stats["reach.mem_bytes"]
 		const mb = 1 << 20
 		row := Fig5Row{
 			Bench:     b.Name,
-			FOrderMB:  float64(fo.ReachMem) / mb,
-			SFOrderMB: float64(sf.ReachMem) / mb,
+			FOrderMB:  float64(foMem) / mb,
+			SFOrderMB: float64(sfMem) / mb,
 		}
-		if fo.ReachMem > 0 {
-			row.RatioSFoverF = float64(sf.ReachMem) / float64(fo.ReachMem)
+		if foMem > 0 {
+			row.RatioSFoverF = float64(sfMem) / float64(foMem)
 		}
 		rows = append(rows, row)
 	}

@@ -30,6 +30,10 @@
 package multibags
 
 import (
+	"sync/atomic"
+	"unsafe"
+
+	"sforder/internal/obsv"
 	"sforder/internal/sched"
 	"sforder/internal/unionfind"
 )
@@ -57,10 +61,12 @@ type fiInfo struct {
 }
 
 // Reach is the MultiBags reachability component: a sched.Tracer plus
-// detect.Reachability for serial executions.
+// detect.Reachability for serial executions. The query counter is atomic
+// only so stats snapshots (the -http endpoint) may read it while the
+// serial run executes; the algorithm itself stays sequential.
 type Reach struct {
 	uf      unionfind.Forest
-	queries uint64
+	queries atomic.Uint64
 }
 
 // NewReach returns an empty MultiBags component.
@@ -141,7 +147,7 @@ func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
 // strand and v the currently executing one — the only direction a
 // sequential SP-bags style detector can answer.
 func (r *Reach) Precedes(u, v *sched.Strand) bool {
-	r.queries++
+	r.queries.Add(1)
 	if u == v {
 		return true
 	}
@@ -149,14 +155,27 @@ func (r *Reach) Precedes(u, v *sched.Strand) bool {
 }
 
 // Queries returns the number of Precedes calls served.
-func (r *Reach) Queries() uint64 { return r.queries }
+func (r *Reach) Queries() uint64 { return r.queries.Load() }
+
+// elemSize and nodeSize are the real per-element and per-strand record
+// sizes, derived so the memory estimate stays honest as structs evolve.
+var (
+	elemSize = int(unsafe.Sizeof(int32(0)) + unsafe.Sizeof(int8(0)) +
+		unsafe.Sizeof(any(nil))) // union-find parent + rank + datum
+	nodeSize = int(unsafe.Sizeof(sNode{}))
+)
 
 // MemBytes estimates the component's footprint: the union-find arrays
 // plus the per-strand records.
 func (r *Reach) MemBytes() int {
-	const elemSize = 8 + 1 + 16 // parent + rank + datum
-	const nodeSize = 24
 	return r.uf.Len()*elemSize + r.uf.Len()*nodeSize
+}
+
+// RegisterStats publishes the MultiBags counters (reach.*) on reg.
+func (r *Reach) RegisterStats(reg *obsv.Registry) {
+	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
+	reg.RegisterFunc("reach.uf_elems", func() int64 { return int64(r.uf.Len()) })
+	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
 }
 
 var _ sched.Tracer = (*Reach)(nil)

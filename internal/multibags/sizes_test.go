@@ -1,0 +1,26 @@
+package multibags
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAccountingSizes pins the memory-accounting sizes to the real
+// layouts. The old hand-written elemSize (8+1+16=25) mis-stated the
+// union-find element; both sizes are now unsafe.Sizeof-derived and the
+// 64-bit expectations are pinned so growth fails loudly.
+func TestAccountingSizes(t *testing.T) {
+	if nodeSize != int(unsafe.Sizeof(sNode{})) {
+		t.Errorf("nodeSize %d != sizeof(sNode) %d", nodeSize, unsafe.Sizeof(sNode{}))
+	}
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("expected values below are for 64-bit platforms")
+	}
+	if nodeSize != 16 {
+		t.Errorf("sNode grew: %d bytes, expected 16", nodeSize)
+	}
+	// parent int32 + rank int8 + data any, per union-find element.
+	if elemSize != 21 {
+		t.Errorf("elemSize: %d bytes, expected 21", elemSize)
+	}
+}

@@ -1,0 +1,60 @@
+package obsv
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry most recently handed to Handler, published once under the
+// expvar name "sforder" so /debug/vars includes the detector counters
+// alongside the runtime's memstats. An indirection rather than a direct
+// Publish per registry: expvar names are process-global and panic on
+// duplicates, while handlers may be built for successive runs.
+var published struct {
+	once sync.Once
+	reg  atomic.Pointer[Registry]
+}
+
+func publishExpvar(r *Registry) {
+	published.reg.Store(r)
+	published.once.Do(func() {
+		expvar.Publish("sforder", expvar.Func(func() any {
+			if reg := published.reg.Load(); reg != nil {
+				return reg.Snapshot()
+			}
+			return map[string]int64{}
+		}))
+	})
+}
+
+// Handler returns an http.Handler exposing the registry and the standard
+// profiling endpoints:
+//
+//	/stats           the registry snapshot as a JSON object
+//	/debug/vars      expvar (includes the registry under "sforder")
+//	/debug/pprof/    net/http/pprof index, profile, trace, ...
+//
+// cmd/sforder serves it on -http.
+func Handler(reg *Registry) http.Handler {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve blocks serving Handler(reg) on addr (e.g. ":6060").
+func Serve(addr string, reg *Registry) error {
+	return http.ListenAndServe(addr, Handler(reg))
+}

@@ -1,0 +1,177 @@
+// Package obsv is the observability layer of the detector: a stats
+// registry of named counters and gauges that the runtime and detector
+// components publish their internals through, a Chrome-trace-format
+// strand tracer for offline timeline inspection, and an HTTP handler
+// exposing both (plus net/http/pprof) for live runs.
+//
+// The paper's entire evaluation (Figures 3–5) reads detector-internal
+// counters: reachability queries, gp merges, OM rebalances, memory
+// accounting. Before this package those counters were scattered across
+// five packages behind bespoke getters; the Registry absorbs them behind
+// one snapshot API. Components keep owning their hot counters (plain
+// atomics, updated exactly as before) and register read-only closures —
+// enabling stats therefore costs the hot paths nothing, and a disabled
+// registry costs one nil check at assembly time.
+//
+// Registered names are dotted and stable; see README.md ("Observability")
+// for the full catalog. The conventional prefixes:
+//
+//	sched.*   engine execution counters (strands, spawns, steals, ...)
+//	reach.*   reachability component (queries, gp_merges, mem_bytes, ...)
+//	om.*      order-maintenance rebalancing (splits, relabels, renumbers)
+//	hist.*    access history (races, lock_acquires, mem_bytes, ...)
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+)
+
+// Counter is a registry-owned monotonic counter, safe for concurrent
+// use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Registry is a named collection of int64 metric sources: counters it
+// owns and read-only functions registered by components. Snapshot and
+// the writers may be called at any time, including while a run is in
+// flight — sources must therefore be safe for concurrent reads (the
+// components' own atomics and mutexes provide this).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		funcs:    map[string]func() int64{},
+	}
+}
+
+// Counter returns the registry-owned counter with the given name,
+// creating it on first use. Counter and RegisterFunc names share one
+// namespace; a counter shadows an earlier func of the same name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		delete(r.funcs, name)
+	}
+	return c
+}
+
+// RegisterFunc registers fn as the source of name. Re-registering a name
+// replaces the previous source (last registration wins), which lets one
+// registry be reused across successive runs.
+func (r *Registry) RegisterFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+	delete(r.counters, name)
+}
+
+// Names returns every registered name in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.funcs))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.funcs {
+		names = append(names, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot evaluates every source and returns a name → value map.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, fn := range r.funcs {
+		funcs[n] = fn
+	}
+	r.mu.Unlock()
+
+	// Evaluate outside the registry lock: sources may take component
+	// locks of their own (e.g. the OM lists' insert mutex).
+	out := make(map[string]int64, len(counters)+len(funcs))
+	for n, c := range counters {
+		out[n] = c.Load()
+	}
+	for n, fn := range funcs {
+		out[n] = fn()
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one sorted JSON object — the same
+// shape expvar renders, so the output is expvar-compatible.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, n := range names {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		key, err := json.Marshal(n)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s: %d", sep, key, snap[n]); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}
+
+// WriteText writes the snapshot as an aligned name/value table, sorted
+// by name — what `sforder -stats` prints.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, n := range names {
+		fmt.Fprintf(tw, "%s\t%d\n", n, snap[n])
+	}
+	return tw.Flush()
+}

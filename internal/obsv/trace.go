@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceWriter emits events in the Chrome trace-event JSON format (the
+// `{"traceEvents": [...]}` object form) — loadable in chrome://tracing
+// and Perfetto for offline timeline inspection. The strand tracer in
+// internal/sched drives it: one timeline row (tid) per strand, begun
+// when the dag event introducing the strand fires and ended when a later
+// event consumes it, with instant events marking spawn/create/sync/get
+// edges and scheduler steals.
+//
+// Methods are safe for concurrent use; one mutex serializes the
+// underlying writer. Tracing is opt-in and meant for modest runs — the
+// writer performs I/O per event and makes no attempt to be cheap.
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	start  time.Time
+	n      int
+	closed bool
+	err    error
+}
+
+// Process IDs used by the engine's strand tracer; exported so offline
+// tooling can tell the two timelines apart.
+const (
+	// TracePidStrands is the pid under which strand rows are emitted.
+	TracePidStrands = 1
+	// TracePidSched is the pid under which scheduler events (steals)
+	// are emitted, one row per worker.
+	TracePidSched = 2
+)
+
+// traceEvent is the wire form of one Chrome trace event.
+type traceEvent struct {
+	Name string         `json:"name,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTraceWriter starts a trace stream on w. Call Close to finalize the
+// JSON; an unclosed trace is not valid JSON.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: w, start: time.Now()}
+	_, t.err = io.WriteString(w, "{\"traceEvents\": [\n")
+	return t
+}
+
+func (t *TraceWriter) emit(ev traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	ev.Ts = float64(time.Since(t.start)) / float64(time.Microsecond)
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	sep := ",\n"
+	if t.n == 0 {
+		sep = ""
+	}
+	t.n++
+	_, t.err = fmt.Fprintf(t.w, "%s%s", sep, b)
+}
+
+// Begin opens a duration slice (phase "B") on the given pid/tid row.
+func (t *TraceWriter) Begin(pid, tid uint64, name string, args map[string]any) {
+	t.emit(traceEvent{Ph: "B", Pid: pid, Tid: tid, Name: name, Args: args})
+}
+
+// End closes the open duration slice (phase "E") on the given pid/tid
+// row.
+func (t *TraceWriter) End(pid, tid uint64) {
+	t.emit(traceEvent{Ph: "E", Pid: pid, Tid: tid})
+}
+
+// Instant emits a thread-scoped instant event (phase "i").
+func (t *TraceWriter) Instant(pid, tid uint64, name string, args map[string]any) {
+	t.emit(traceEvent{Ph: "i", S: "t", Pid: pid, Tid: tid, Name: name, Args: args})
+}
+
+// Close finalizes the JSON object and returns the first error the stream
+// encountered, if any. Close does not close the underlying writer.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err == nil {
+		_, t.err = io.WriteString(t.w, "\n]}\n")
+	}
+	return t.err
+}

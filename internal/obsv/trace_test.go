@@ -1,0 +1,113 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// chromeTrace mirrors the object form of the Chrome trace-event format.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Pid  uint64         `json:"pid"`
+		Tid  uint64         `json:"tid"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceWriterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Begin(TracePidStrands, 1, "s1/f0", map[string]any{"future": 0})
+	tw.Instant(TracePidStrands, 2, "spawn", map[string]any{"from": 1})
+	tw.Begin(TracePidStrands, 2, "s2/f0", nil)
+	tw.Instant(TracePidSched, 0, "steal", map[string]any{"victim": 1})
+	tw.End(TracePidStrands, 2)
+	tw.End(TracePidStrands, 1)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(tr.TraceEvents))
+	}
+	phases := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ts < 0 {
+			t.Fatalf("negative timestamp: %+v", ev)
+		}
+	}
+	if phases["B"] != 2 || phases["E"] != 2 || phases["i"] != 2 {
+		t.Fatalf("phase histogram = %v, want B:2 E:2 i:2", phases)
+	}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "i" && ev.S != "t" {
+			t.Fatalf("instant event missing thread scope: %+v", ev)
+		}
+	}
+	if tr.TraceEvents[0].Args["future"] != float64(0) {
+		t.Fatalf("args not preserved: %+v", tr.TraceEvents[0])
+	}
+}
+
+func TestTraceWriterEmptyAndDoubleClose(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(tr.TraceEvents))
+	}
+	// Events after Close are dropped, not errors.
+	tw.Begin(TracePidStrands, 1, "late", nil)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceWriterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tid := uint64(g*1000 + i)
+				tw.Begin(TracePidStrands, tid, "s", nil)
+				tw.End(TracePidStrands, tid)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("concurrent trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) != 1600 {
+		t.Fatalf("got %d events, want 1600", len(tr.TraceEvents))
+	}
+}

@@ -26,6 +26,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
+
+	"sforder/internal/obsv"
 )
 
 const (
@@ -87,12 +90,40 @@ func (l *List) Stats() (splits, relabels, renumbers int) {
 	return l.splits, l.relabels, l.renumbers
 }
 
+// RegisterStats publishes the list's maintenance counters, size, and
+// memory estimate on r under prefix (e.g. "om.english"). The gauges take
+// the insert lock when read, so snapshots are consistent but should not
+// be taken from a hot path.
+func (l *List) RegisterStats(r *obsv.Registry, prefix string) {
+	r.RegisterFunc(prefix+".splits", func() int64 {
+		s, _, _ := l.Stats()
+		return int64(s)
+	})
+	r.RegisterFunc(prefix+".relabels", func() int64 {
+		_, rl, _ := l.Stats()
+		return int64(rl)
+	})
+	r.RegisterFunc(prefix+".renumbers", func() int64 {
+		_, _, rn := l.Stats()
+		return int64(rn)
+	})
+	r.RegisterFunc(prefix+".items", func() int64 { return int64(l.Len()) })
+	r.RegisterFunc(prefix+".mem_bytes", func() int64 { return int64(l.MemBytes()) })
+}
+
+// itemSize and bucketSize are the real struct sizes, derived rather than
+// hard-coded so the Figure 5 numbers cannot drift as the structs evolve
+// (a test pins them to the expected values).
+var (
+	itemSize   = int(unsafe.Sizeof(Item{}))
+	bucketSize = int(unsafe.Sizeof(bucket{}))
+)
+
 // MemBytes estimates the heap footprint of the list (items + buckets) in
 // bytes, for the Figure 5 memory-accounting harness.
 func (l *List) MemBytes() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	const itemSize, bucketSize = 24, 64
 	total := 0
 	for b := l.head; b != nil; b = b.next {
 		total += bucketSize + 8*cap(b.items)

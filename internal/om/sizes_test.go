@@ -1,0 +1,31 @@
+package om
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestAccountingSizes pins the memory-accounting sizes to the real
+// struct layouts. The old hand-written constants (itemSize=24,
+// bucketSize=64) had drifted from the structs they were supposed to
+// describe; the sizes are now derived with unsafe.Sizeof and this test
+// both re-derives them and pins the expected 64-bit values so that
+// accidental struct growth shows up as a failed test, not as a silently
+// wrong MemBytes.
+func TestAccountingSizes(t *testing.T) {
+	if itemSize != int(unsafe.Sizeof(Item{})) {
+		t.Errorf("itemSize %d != sizeof(Item) %d", itemSize, unsafe.Sizeof(Item{}))
+	}
+	if bucketSize != int(unsafe.Sizeof(bucket{})) {
+		t.Errorf("bucketSize %d != sizeof(bucket) %d", bucketSize, unsafe.Sizeof(bucket{}))
+	}
+	if unsafe.Sizeof(uintptr(0)) != 8 {
+		t.Skip("expected values below are for 64-bit platforms")
+	}
+	if itemSize != 16 {
+		t.Errorf("Item grew: %d bytes, expected 16", itemSize)
+	}
+	if bucketSize != 48 {
+		t.Errorf("bucket grew: %d bytes, expected 48", bucketSize)
+	}
+}

@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sforder/internal/obsv"
 )
 
 // Strand is one node of the computation dag. The engine allocates
@@ -202,6 +204,17 @@ type Options struct {
 	// Off by default: the unchecked paths stay free of the site-capture
 	// and visibility-horizon bookkeeping.
 	CheckStructure bool
+	// Stats, when non-nil, receives the engine's execution counters as
+	// live gauges under sched.* names at the start of Run; the registry
+	// may be snapshotted while the run is in flight. Nil costs nothing.
+	Stats *obsv.Registry
+	// Trace, when non-nil, receives the strand timeline in Chrome
+	// trace-event form: a B/E pair bracketing each strand's lifetime
+	// (pid obsv.TracePidStrands, tid = strand ID), instant events for
+	// spawn/create/sync/put/get edges, and steal instants (pid
+	// obsv.TracePidSched, tid = thief worker). Nil costs one pointer
+	// check per dag event and nothing per memory access.
+	Trace *obsv.TraceWriter
 }
 
 // Counts are cheap engine-side execution statistics (Figure 3).
@@ -213,6 +226,7 @@ type Counts struct {
 	Gets    uint64
 	Reads   uint64 // instrumented reads
 	Writes  uint64 // instrumented writes
+	Steals  uint64 // jobs taken from another worker's deque
 }
 
 // ErrAborted is returned by Run when a worker panicked; the panic value
@@ -227,12 +241,13 @@ type engine struct {
 	opts    Options
 	tracer  Tracer
 	checker AccessChecker
-	check   bool // Options.CheckStructure, hoisted for the hot paths
+	check   bool              // Options.CheckStructure, hoisted for the hot paths
+	trace   *obsv.TraceWriter // Options.Trace, consulted for steal instants
 
 	strandID atomic.Uint64
 	futureID atomic.Int64
 
-	cStrands, cFutures, cSpawns, cSyncs, cGets, cReads, cWrites atomic.Uint64
+	cStrands, cFutures, cSpawns, cSyncs, cGets, cReads, cWrites, cSteals atomic.Uint64
 
 	workers []*worker
 	pending atomic.Int64 // unfinished jobs
@@ -251,7 +266,22 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 		tracer:  opts.Tracer,
 		checker: opts.Checker,
 		check:   opts.CheckStructure,
+		trace:   opts.Trace,
 		abortCh: make(chan struct{}),
+	}
+	if opts.Trace != nil {
+		tt := &traceTracer{tw: opts.Trace}
+		if e.tracer != nil {
+			e.tracer = MultiTracer{e.tracer, tt}
+		} else {
+			e.tracer = tt
+		}
+	}
+	if opts.Stats != nil {
+		// The registry publishes sched.reads/sched.writes, so attaching
+		// one implies counting accesses.
+		e.opts.CountAccesses = true
+		e.registerStats(opts.Stats)
 	}
 	rootFut := e.newFuture(nil)
 	rootStrand := e.newStrand(rootFut)
@@ -306,7 +336,25 @@ func (e *engine) countsSnapshot() Counts {
 		Gets:    e.cGets.Load(),
 		Reads:   e.cReads.Load(),
 		Writes:  e.cWrites.Load(),
+		Steals:  e.cSteals.Load(),
 	}
+}
+
+// registerStats publishes the engine counters as live gauges. The
+// closures read the same atomics the hot paths update, so enabling stats
+// changes nothing about execution.
+func (e *engine) registerStats(r *obsv.Registry) {
+	gauge := func(name string, c *atomic.Uint64) {
+		r.RegisterFunc(name, func() int64 { return int64(c.Load()) })
+	}
+	gauge("sched.strands", &e.cStrands)
+	gauge("sched.futures", &e.cFutures)
+	gauge("sched.spawns", &e.cSpawns)
+	gauge("sched.syncs", &e.cSyncs)
+	gauge("sched.gets", &e.cGets)
+	gauge("sched.reads", &e.cReads)
+	gauge("sched.writes", &e.cWrites)
+	gauge("sched.steals", &e.cSteals)
 }
 
 func (e *engine) newStrand(f *FutureTask) *Strand {
@@ -424,6 +472,11 @@ func (w *worker) findWork() *job {
 			continue
 		}
 		if j := w.stealFrom(v); j != nil {
+			w.eng.cSteals.Add(1)
+			if tw := w.eng.trace; tw != nil {
+				tw.Instant(obsv.TracePidSched, uint64(w.id), "steal",
+					map[string]any{"victim": v.id, "strand": j.task.cur.ID})
+			}
 			return j
 		}
 	}

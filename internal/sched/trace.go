@@ -1,0 +1,89 @@
+package sched
+
+import "sforder/internal/obsv"
+
+// traceTracer adapts the engine's dag-construction events to the Chrome
+// trace stream (Options.Trace). Every strand gets its own timeline row
+// (tid = strand ID, pid obsv.TracePidStrands): a B event when the dag
+// event introducing the strand fires and an E event when a later event
+// consumes it, so each row's slice is the strand's logical lifetime.
+// Parallel-control edges show up as thread-scoped instants on the row of
+// the strand they introduce. Steal instants (pid obsv.TracePidSched) are
+// emitted by the workers directly, not through the Tracer interface —
+// the scheduler, not the dag, knows about steals.
+//
+// The engine's per-strand ordering guarantee (the event introducing a
+// strand happens-before any event naming it) is exactly what keeps each
+// row's B before its E. Aborted runs truncate the stream mid-slice;
+// Chrome and Perfetto render unclosed slices to the trace end, which is
+// the honest picture of a crashed run.
+type traceTracer struct {
+	tw *obsv.TraceWriter
+}
+
+func (t *traceTracer) begin(s *Strand) {
+	t.tw.Begin(obsv.TracePidStrands, s.ID, s.String(),
+		map[string]any{"future": s.Fut.ID})
+}
+
+func (t *traceTracer) end(s *Strand) {
+	t.tw.End(obsv.TracePidStrands, s.ID)
+}
+
+// OnRoot implements Tracer.
+func (t *traceTracer) OnRoot(root *Strand) {
+	t.begin(root)
+}
+
+// OnSpawn implements Tracer. The placeholder strand is not begun here:
+// it starts executing at the region's sync, where OnSync begins it.
+func (t *traceTracer) OnSpawn(u, child, cont, placeholder *Strand) {
+	t.end(u)
+	t.begin(child)
+	t.tw.Instant(obsv.TracePidStrands, child.ID, "spawn",
+		map[string]any{"from": u.ID})
+	t.begin(cont)
+}
+
+// OnCreate implements Tracer.
+func (t *traceTracer) OnCreate(u, first, cont, placeholder *Strand, f *FutureTask) {
+	t.end(u)
+	t.begin(first)
+	t.tw.Instant(obsv.TracePidStrands, first.ID, "create",
+		map[string]any{"from": u.ID, "future": f.ID})
+	t.begin(cont)
+}
+
+// OnSync implements Tracer.
+func (t *traceTracer) OnSync(k, s *Strand, childSinks []*Strand) {
+	t.end(k)
+	t.begin(s)
+	sinks := make([]uint64, len(childSinks))
+	for i, c := range childSinks {
+		sinks[i] = c.ID
+	}
+	t.tw.Instant(obsv.TracePidStrands, s.ID, "sync",
+		map[string]any{"from": k.ID, "joins": sinks})
+}
+
+// OnReturn implements Tracer: the spawned child's sink strand ends here.
+func (t *traceTracer) OnReturn(sink *Strand) {
+	t.end(sink)
+}
+
+// OnPut implements Tracer: the future task's put strand ends here.
+func (t *traceTracer) OnPut(sink *Strand, f *FutureTask) {
+	t.tw.Instant(obsv.TracePidStrands, sink.ID, "put",
+		map[string]any{"future": f.ID})
+	t.end(sink)
+}
+
+// OnGet implements Tracer.
+func (t *traceTracer) OnGet(u, g *Strand, f *FutureTask) {
+	t.end(u)
+	t.begin(g)
+	t.tw.Instant(obsv.TracePidStrands, g.ID, "get",
+		map[string]any{"from": u.ID, "future": f.ID})
+}
+
+var _ Tracer = (*traceTracer)(nil)

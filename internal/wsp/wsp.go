@@ -18,7 +18,9 @@ package wsp
 
 import (
 	"sync/atomic"
+	"unsafe"
 
+	"sforder/internal/obsv"
 	"sforder/internal/om"
 	"sforder/internal/sched"
 )
@@ -109,10 +111,23 @@ func (r *Reach) LeftOf(a, b *sched.Strand) bool {
 // Queries returns the number of Precedes calls served.
 func (r *Reach) Queries() uint64 { return r.queries.Load() }
 
+// nodeSize is the real per-strand record size, derived so the memory
+// estimate stays honest as the struct evolves.
+var nodeSize = int(unsafe.Sizeof(node{}))
+
 // MemBytes estimates the component's footprint.
 func (r *Reach) MemBytes() int {
-	const nodeSize = 16
 	return r.engL.MemBytes() + r.hebL.MemBytes() + int(r.strands.Load())*nodeSize
+}
+
+// RegisterStats publishes the WSP-Order counters (reach.*) and both OM
+// lists' maintenance counters (om.english.*, om.hebrew.*) on reg.
+func (r *Reach) RegisterStats(reg *obsv.Registry) {
+	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
+	reg.RegisterFunc("reach.strands", func() int64 { return int64(r.strands.Load()) })
+	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
+	r.engL.RegisterStats(reg, "om.english")
+	r.hebL.RegisterStats(reg, "om.hebrew")
 }
 
 var _ sched.Tracer = (*Reach)(nil)

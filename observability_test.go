@@ -1,0 +1,269 @@
+package sforder_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"sforder"
+)
+
+// TestPartialResultOnPanic proves the satellite fix: a racy program that
+// panics in a parallel worker must still report the races it exposed
+// before crashing. The interleaving is pinned: the spawned child spins
+// until the continuation's write is recorded, then writes the same
+// address (detecting the race) and panics.
+func TestPartialResultOnPanic(t *testing.T) {
+	var parentWrote atomic.Bool
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 2}, func(t *sforder.Task) {
+		t.Spawn(func(c *sforder.Task) {
+			for !parentWrote.Load() {
+				runtime.Gosched()
+			}
+			c.Write(100) // races with the continuation's write below
+			panic("deliberate worker crash")
+		})
+		t.Write(100)
+		parentWrote.Store(true)
+		t.Sync()
+	})
+	if err == nil {
+		t.Fatal("worker panic did not surface as an error")
+	}
+	if res == nil {
+		t.Fatal("partial result dropped on worker panic")
+	}
+	if res.RaceCount == 0 || len(res.Races) == 0 {
+		t.Fatalf("races detected before the crash were lost: %+v", res)
+	}
+	if res.Races[0].Addr != 100 {
+		t.Errorf("wrong race record: %v", res.Races[0])
+	}
+	if res.Strands == 0 {
+		t.Errorf("partial result carries no counts: %+v", res)
+	}
+}
+
+// TestPartialResultCarriesStats checks the partial result also carries
+// the registry snapshot accumulated before the abort.
+func TestPartialResultCarriesStats(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Workers: 2, Stats: true}, func(t *sforder.Task) {
+		t.Write(7)
+		t.Spawn(func(c *sforder.Task) { panic("boom") })
+		t.Sync()
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if res == nil || res.Stats == nil {
+		t.Fatalf("stats snapshot missing from partial result: %+v", res)
+	}
+	if res.Stats["sched.writes"] == 0 {
+		t.Errorf("pre-crash writes missing from snapshot: %v", res.Stats)
+	}
+}
+
+// racyLoop spawns n children that each write the same address, plus a
+// write in the continuation — n distinct racing strand pairs on one
+// location.
+func racyLoop(cfg sforder.Config, n int) (*sforder.Result, error) {
+	return sforder.Run(cfg, func(t *sforder.Task) {
+		for i := 0; i < n; i++ {
+			t.Spawn(func(c *sforder.Task) { c.Write(42) })
+		}
+		t.Write(42)
+		t.Sync()
+	})
+}
+
+func TestDedupByAddr(t *testing.T) {
+	res, err := racyLoop(sforder.Config{Detector: sforder.SFOrder, Serial: true, DedupByAddr: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 1 {
+		t.Fatalf("dedup kept %d records for one address: %v", len(res.Races), res.Races)
+	}
+	if res.RaceCount <= 1 {
+		t.Errorf("RaceCount should still count every race: %d", res.RaceCount)
+	}
+
+	full, err := racyLoop(sforder.Config{Detector: sforder.SFOrder, Serial: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Races) <= 1 {
+		t.Fatalf("without dedup expected multiple records, got %d", len(full.Races))
+	}
+	if full.RaceCount != res.RaceCount {
+		t.Errorf("dedup changed RaceCount: %d vs %d", res.RaceCount, full.RaceCount)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	for _, det := range []sforder.Detector{sforder.SFOrder, sforder.FOrder, sforder.MultiBags, sforder.WSPOrder} {
+		cfg := sforder.Config{Detector: det, Serial: true, Stats: true, StrandFilter: true}
+		res, err := sforder.Run(cfg, func(t *sforder.Task) {
+			t.Spawn(func(c *sforder.Task) { c.Write(1) })
+			t.Write(1)
+			t.Sync()
+			if det != sforder.WSPOrder {
+				h := t.Create(func(c *sforder.Task) any { c.Read(2); return nil })
+				t.Get(h)
+			}
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", det, err)
+		}
+		if res.Stats == nil {
+			t.Fatalf("%v: Stats nil with Config.Stats set", det)
+		}
+		for _, key := range []string{"sched.strands", "sched.spawns", "sched.writes", "reach.queries", "reach.mem_bytes", "hist.races", "hist.lock_acquires", "hist.filter_dropped", "hist.mem_bytes"} {
+			if _, ok := res.Stats[key]; !ok {
+				t.Errorf("%v: snapshot missing %q: %v", det, key, res.Stats)
+			}
+		}
+		if got := res.Stats["sched.strands"]; got != int64(res.Strands) {
+			t.Errorf("%v: sched.strands %d != Result.Strands %d", det, got, res.Strands)
+		}
+		if got := res.Stats["reach.queries"]; got != int64(res.Queries) {
+			t.Errorf("%v: reach.queries %d != Result.Queries %d", det, got, res.Queries)
+		}
+		if got := res.Stats["hist.races"]; got != int64(res.RaceCount) {
+			t.Errorf("%v: hist.races %d != Result.RaceCount %d", det, got, res.RaceCount)
+		}
+		if res.Stats["hist.lock_acquires"] == 0 {
+			t.Errorf("%v: lock acquisitions not counted", det)
+		}
+	}
+}
+
+func TestStatsOffByDefault(t *testing.T) {
+	res, err := sforder.Run(sforder.Config{Serial: true}, func(t *sforder.Task) { t.Write(0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != nil {
+		t.Fatalf("Stats populated without Config.Stats: %v", res.Stats)
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event JSON shape.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		Ts    float64        `json:"ts"`
+		Pid   uint64         `json:"pid"`
+		Tid   uint64         `json:"tid"`
+		Scope string         `json:"s"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTraceChromeFormat validates the acceptance criterion: -trace
+// output is well-formed Chrome trace JSON with B/E/i phases, balanced
+// per strand.
+func TestTraceChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Serial: true, Trace: &buf}, func(t *sforder.Task) {
+		t.Spawn(func(c *sforder.Task) { c.Write(1) })
+		t.Sync()
+		h := t.Create(func(c *sforder.Task) any { c.Write(2); return 9 })
+		t.Write(3)
+		_ = t.Get(h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	phases := map[string]int{}
+	instants := map[string]int{}
+	beginsPerTid := map[uint64]int{}
+	endsPerTid := map[uint64]int{}
+	lastTs := -1.0
+	for _, ev := range tr.TraceEvents {
+		phases[ev.Phase]++
+		switch ev.Phase {
+		case "B":
+			beginsPerTid[ev.Tid]++
+		case "E":
+			endsPerTid[ev.Tid]++
+		case "i":
+			instants[ev.Name]++
+			if ev.Scope != "t" {
+				t.Errorf("instant %q missing thread scope: %q", ev.Name, ev.Scope)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+		if ev.Ts < 0 {
+			t.Errorf("negative timestamp %v on %q", ev.Ts, ev.Name)
+		}
+		if ev.Ts > lastTs {
+			lastTs = ev.Ts
+		}
+	}
+	if phases["B"] == 0 || phases["E"] == 0 || phases["i"] == 0 {
+		t.Fatalf("missing phases: %v", phases)
+	}
+	// A run to completion closes every strand slice it opened.
+	for tid, b := range beginsPerTid {
+		if e := endsPerTid[tid]; b != e {
+			t.Errorf("strand %d: %d begins vs %d ends", tid, b, e)
+		}
+	}
+	for _, name := range []string{"spawn", "sync", "create", "put", "get"} {
+		if instants[name] == 0 {
+			t.Errorf("missing %q instant: %v", name, instants)
+		}
+	}
+	// The strand count in the trace matches the executed dag.
+	if got := uint64(len(beginsPerTid)); got != res.Strands {
+		t.Errorf("trace covers %d strands, dag has %d", got, res.Strands)
+	}
+}
+
+// TestTraceParallelSteals checks that a parallel run's trace is still
+// well-formed and records steal events on the scheduler row when work
+// moves between workers.
+func TestTraceParallelSteals(t *testing.T) {
+	var buf bytes.Buffer
+	var spin atomic.Bool
+	_, err := sforder.Run(sforder.Config{Detector: sforder.NoDetector, Workers: 2, Trace: &buf}, func(t *sforder.Task) {
+		t.Spawn(func(c *sforder.Task) { spin.Store(true) })
+		// The spawning worker spins here, so only a thief can run the
+		// child and release it — the trace must contain that steal.
+		for !spin.Load() {
+			runtime.Gosched()
+		}
+		t.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("parallel trace invalid: %v", err)
+	}
+	steals := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Name == "steal" {
+			steals++
+			if ev.Pid != 2 {
+				t.Errorf("steal event on pid %d, want scheduler pid 2", ev.Pid)
+			}
+		}
+	}
+	if steals == 0 {
+		t.Error("forced steal not recorded in trace")
+	}
+}

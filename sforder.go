@@ -37,12 +37,14 @@ package sforder
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"sforder/internal/core"
 	"sforder/internal/detect"
 	"sforder/internal/forder"
 	"sforder/internal/multibags"
+	"sforder/internal/obsv"
 	"sforder/internal/sched"
 	"sforder/internal/wsp"
 )
@@ -142,6 +144,22 @@ type Config struct {
 	// granularity is unchanged; loop-heavy workloads check in much less
 	// often.
 	StrandFilter bool
+	// DedupByAddr reports at most one detailed race record per memory
+	// location: after the first report on an address, later races there
+	// are counted in RaceCount but not retained in Races. Keeps reports
+	// readable on programs with systematic races (e.g. a racy loop).
+	DedupByAddr bool
+	// Stats collects the observability registry — the named counters
+	// every component publishes (sched.*, reach.*, om.*, hist.*) — and
+	// returns its snapshot as Result.Stats. Off by default; enabling it
+	// does not perturb the hot paths (the registry reads the same
+	// atomics the components already maintain).
+	Stats bool
+	// Trace, when non-nil, streams the strand timeline to it in Chrome
+	// trace-event JSON (chrome://tracing, Perfetto): per-strand
+	// begin/end slices, spawn/create/sync/put/get instants, and steal
+	// events. Tracing performs I/O per dag event; meant for modest runs.
+	Trace io.Writer
 	// CheckStructure enables the on-the-fly structured-futures checker:
 	// every Create/Get validates the SF restrictions (paper §2) in O(1)
 	// per operation — single-touch violations panic with the Create,
@@ -185,11 +203,20 @@ type Result struct {
 	// ReachMemBytes and HistoryMemBytes estimate detector memory.
 	ReachMemBytes   int
 	HistoryMemBytes int
+	// Stats is the observability registry snapshot, present when
+	// Config.Stats was set: every counter the components published
+	// (sched.*, reach.*, om.*, hist.*), by name. See README.md
+	// ("Observability") for the catalog.
+	Stats map[string]int64
 }
 
 // Run executes main under cfg and returns the detection result. The
 // returned error is non-nil when the program itself failed (a panic in a
-// parallel worker); detected races are data, not errors.
+// parallel worker); detected races are data, not errors. On failure the
+// Result is still returned alongside the error, carrying everything
+// detected before the abort — races found in a crashing program are
+// precisely the ones worth keeping. In Serial mode panics propagate to
+// the caller instead.
 func Run(cfg Config, main func(*Task)) (*Result, error) {
 	type reachComponent interface {
 		sched.Tracer
@@ -220,19 +247,42 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 	}
 
 	opts := sched.Options{Serial: cfg.Serial, Workers: cfg.Workers, CheckStructure: cfg.CheckStructure}
+	var reg *obsv.Registry
+	if cfg.Stats {
+		reg = obsv.NewRegistry()
+		opts.Stats = reg
+	}
+	var tw *obsv.TraceWriter
+	if cfg.Trace != nil {
+		tw = obsv.NewTraceWriter(cfg.Trace)
+		opts.Trace = tw
+	}
 	var hist *detect.History
 	if reach != nil {
 		opts.Tracer = reach
+		if reg != nil {
+			if rs, ok := reach.(interface{ RegisterStats(*obsv.Registry) }); ok {
+				rs.RegisterStats(reg)
+			}
+		}
 		if !cfg.ReachabilityOnly {
 			hist = detect.NewHistory(detect.Options{
-				Reach:    reach,
-				Policy:   cfg.Policy,
-				LeftOf:   leftOf,
-				MaxRaces: cfg.MaxRaces,
-				Backend:  cfg.Backend,
+				Reach:       reach,
+				Policy:      cfg.Policy,
+				LeftOf:      leftOf,
+				MaxRaces:    cfg.MaxRaces,
+				Backend:     cfg.Backend,
+				DedupByAddr: cfg.DedupByAddr,
 			})
+			if reg != nil {
+				hist.RegisterStats(reg)
+			}
 			if cfg.StrandFilter {
-				opts.Checker = detect.NewStrandFilter(hist)
+				filter := detect.NewStrandFilter(hist)
+				if reg != nil {
+					filter.RegisterStats(reg)
+				}
+				opts.Checker = filter
 			} else {
 				opts.Checker = hist
 			}
@@ -241,9 +291,14 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 
 	start := time.Now()
 	counts, err := sched.Run(opts, main)
-	if err != nil {
-		return nil, err
+	if tw != nil {
+		if cerr := tw.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("sforder: trace: %w", cerr)
+		}
 	}
+	// Build the result even when the program failed: counts, races, and
+	// stats accumulated before the abort are valid data, and dropping
+	// them would lose every race the crashing program already exposed.
 	res := &Result{
 		Elapsed: time.Since(start),
 		Strands: counts.Strands,
@@ -258,7 +313,10 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 		res.RaceCount = hist.RaceCount()
 		res.HistoryMemBytes = hist.MemBytes()
 	}
-	return res, nil
+	if reg != nil {
+		res.Stats = reg.Snapshot()
+	}
+	return res, err
 }
 
 // GetTyped retrieves a future's value with a type assertion, panicking
