@@ -7,6 +7,7 @@
 //	BenchmarkAblationReaderPolicy — ABL1: ReadersAll vs ReadersLR histories
 //	BenchmarkAblationGpMerge      — ABL2: §3.4 merge-on-divergence vs always-merge
 //	BenchmarkAblationBitmapVsHash — ABL3: SF-Order bitmaps vs F-Order tables, reach only
+//	BenchmarkAblationFastPath     — ABL7: lock-avoiding access history on vs off
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -25,6 +26,7 @@ import (
 	"sforder/internal/detect"
 	"sforder/internal/forder"
 	"sforder/internal/harness"
+	"sforder/internal/obsv"
 	"sforder/internal/progen"
 	"sforder/internal/sched"
 	"sforder/internal/workload"
@@ -268,6 +270,37 @@ func BenchmarkAblationStrandFilter(b *testing.B) {
 					Detector: harness.SFOrder, Mode: harness.Full, Serial: true, Filter: filtered,
 				})
 				b.ReportMetric(float64(res.Queries), "queries")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationFastPath (ABL7, §6 future work): full SF-Order
+// detection with and without the lock-avoiding access-history path
+// (state word + strand batching + Precedes memo). The reported
+// lock-acquires metric is the acceptance quantity: with the fast path
+// on it must drop by at least 5× on the loop-heavy workloads (mm, hw).
+func BenchmarkAblationFastPath(b *testing.B) {
+	benches := []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.HW(4, 16, 256),
+		workload.Sort(20_000, 512),
+	}
+	for _, bench := range benches {
+		bench := bench
+		for _, fast := range []bool{false, true} {
+			fast := fast
+			name := bench.Name + "/fastpath-off"
+			if fast {
+				name = bench.Name + "/fastpath-on"
+			}
+			b.Run(name, func(b *testing.B) {
+				res := measure(b, bench, harness.Config{
+					Detector: harness.SFOrder, Mode: harness.Full, Serial: true,
+					FastPath: fast, Registry: obsv.NewRegistry(),
+				})
+				b.ReportMetric(float64(res.Stats["hist.lock_acquires"]), "lock-acquires")
+				b.ReportMetric(float64(res.Stats["hist.fastpath_hits"]), "fastpath-hits")
 			})
 		}
 	}

@@ -1,0 +1,82 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout, one entry per benchmark:
+//
+//	go test -run='^$' -bench='Fig4|AblationFastPath' -benchtime=1x . | go run ./cmd/benchjson
+//
+// Each entry maps the benchmark name (the Benchmark prefix stripped) to
+// its ns/op and every custom metric go test reported (lock-acquires,
+// fastpath-hits, ...). Non-benchmark lines are ignored, so the full test
+// binary output can be piped through unchanged. CI uses this to record
+// the perf trajectory as BENCH_pr<N>.json artifacts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's parsed result line.
+type entry struct {
+	Iterations int64              `json:"iterations"`
+	NsOp       float64            `json:"ns_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	results := map[string]*entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs: the line is a result
+		// only if the second field parses as the iteration count.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		e := &entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				e.NsOp = val
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = val
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	// json.Marshal sorts map keys, so the output is stable across runs.
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}

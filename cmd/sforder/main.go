@@ -44,6 +44,7 @@ func main() {
 		traceOut = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
 		httpAddr = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 		dedup    = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
+		fastpath = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 			stats:    *stats,
 			traceOut: *traceOut,
 			dedup:    *dedup,
+			fastpath: *fastpath,
 			block:    *httpAddr != "",
 		})
 	default:
@@ -94,6 +96,7 @@ type oneOpts struct {
 	stats    bool
 	traceOut string
 	dedup    bool
+	fastpath bool
 	block    bool // keep serving -http after the run completes
 }
 
@@ -185,6 +188,7 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 		Serial:      det == harness.MultiBags,
 		Policy:      pol,
 		DedupByAddr: obs.dedup,
+		FastPath:    obs.fastpath,
 		Registry:    obs.reg,
 	}
 	var traceFile *os.File

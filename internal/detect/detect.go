@@ -124,6 +124,15 @@ type Options struct {
 	// in RaceCount but not retained as detailed records. Keeps reports
 	// readable on programs with systematic races (e.g. a racy loop).
 	DedupByAddr bool
+	// FastPath enables the lock-avoiding access path (see fastpath.go):
+	// a per-location published state word absorbing redundant accesses,
+	// per-strand batches applied one lock acquisition per shadow page at
+	// strand close, and a per-strand Precedes memo. Detection at
+	// location granularity is unchanged (DESIGN.md §4 has the soundness
+	// argument). Requires the scheduler's StrandCloser hook: accesses
+	// are deferred until the engine closes the strand, so a History used
+	// without an engine must call StrandClose itself.
+	FastPath bool
 }
 
 // Backend selects the shadow-memory storage layout.
@@ -168,6 +177,14 @@ type addrTable interface {
 	// acquire returns addr's metadata with its covering lock held;
 	// release must be called when done.
 	acquire(addr uint64) (l *loc, release func())
+	// unitOf returns the key of the lock unit covering addr: every
+	// address with the same key is protected by the same lock, so a
+	// batch of same-unit addresses can be applied under one acquisition.
+	unitOf(addr uint64) uint64
+	// applyUnit invokes fn(i, l) for each addrs[i] — which must all
+	// share one unitOf key — under a single acquisition of the covering
+	// lock, creating locations as needed.
+	applyUnit(unit uint64, addrs []uint64, fn func(i int, l *loc))
 	// forEach visits every populated location (taking locks itself);
 	// used by the accounting methods, not the hot path.
 	forEach(fn func(*loc))
@@ -176,7 +193,9 @@ type addrTable interface {
 }
 
 // shardedTable is the default backend: a power-of-two array of mutex-
-// protected Go maps.
+// protected Go maps. Shards are selected by the address's page (its high
+// bits), not the address itself, so one shard lock covers a contiguous
+// page of locations — the granularity the batched fast path flushes at.
 type shardedTable struct {
 	shards []*shard
 	mask   uint64
@@ -202,9 +221,16 @@ func newShardedTable(n int) *shardedTable {
 	return t
 }
 
+// shardFor hashes addr's page number to a shard; Fibonacci hashing
+// spreads dense page numbers across shards.
+func (t *shardedTable) shardFor(unit uint64) *shard {
+	return t.shards[(unit*0x9e3779b97f4a7c15)>>32&t.mask]
+}
+
+func (t *shardedTable) unitOf(addr uint64) uint64 { return addr >> pageBits }
+
 func (t *shardedTable) acquire(addr uint64) (*loc, func()) {
-	// Fibonacci hashing spreads dense addresses across shards.
-	sh := t.shards[(addr*0x9e3779b97f4a7c15)>>32&t.mask]
+	sh := t.shardFor(addr >> pageBits)
 	sh.mu.Lock()
 	l := sh.m[addr]
 	if l == nil {
@@ -212,6 +238,20 @@ func (t *shardedTable) acquire(addr uint64) (*loc, func()) {
 		sh.m[addr] = l
 	}
 	return l, sh.mu.Unlock
+}
+
+func (t *shardedTable) applyUnit(unit uint64, addrs []uint64, fn func(int, *loc)) {
+	sh := t.shardFor(unit)
+	sh.mu.Lock()
+	for i, a := range addrs {
+		l := sh.m[a]
+		if l == nil {
+			l = &loc{}
+			sh.m[a] = l
+		}
+		fn(i, l)
+	}
+	sh.mu.Unlock()
 }
 
 func (t *shardedTable) forEach(fn func(*loc)) {
@@ -249,17 +289,25 @@ func (t *shardedTable) memBytes() int {
 type History struct {
 	opts Options
 	tbl  addrTable
+	fast *stateDir // lock-free shadow directory; nil unless Options.FastPath
 
-	// countLocks enables the shard-lock acquisition counter. It is set
-	// (before the run starts) by RegisterStats only, so the disabled hot
-	// path pays one predictable branch and nothing else.
+	// countLocks enables the shard-lock acquisition counter and the
+	// fast-path hit counters. It is set (before the run starts) by
+	// RegisterStats only, so the disabled hot path pays one predictable
+	// branch and nothing else.
 	countLocks   bool
 	lockAcquires atomic.Uint64
+	fastHits     atomic.Uint64
+	batchFlushes atomic.Uint64
+	dedupHits    atomic.Uint64
+	memoHits     atomic.Uint64
 
 	raceCount atomic.Uint64
 	raceMu    sync.Mutex
 	races     []Race
-	racyAddrs map[uint64]bool
+	retained  atomic.Int64 // len(races), readable without raceMu
+	racySet   sync.Map     // addr → true; stored under raceMu, loaded lock-free
+	racyCount atomic.Int64 // number of distinct racy addresses
 }
 
 // NewHistory returns an empty access history.
@@ -273,7 +321,7 @@ func NewHistory(opts Options) *History {
 	if opts.MaxRaces == 0 {
 		opts.MaxRaces = 256
 	}
-	h := &History{opts: opts, racyAddrs: map[uint64]bool{}}
+	h := &History{opts: opts}
 	switch opts.Backend {
 	case BackendShardedMap:
 		h.tbl = newShardedTable(opts.Shards)
@@ -282,17 +330,32 @@ func NewHistory(opts Options) *History {
 	default:
 		panic(fmt.Sprintf("detect: unknown backend %v", opts.Backend))
 	}
+	if opts.FastPath {
+		h.fast = &stateDir{}
+	}
 	return h
 }
 
 func (h *History) report(addr uint64, prev *sched.Strand, prevKind AccessKind, cur *sched.Strand, curKind AccessKind) {
 	h.raceCount.Add(1)
-	h.raceMu.Lock()
-	defer h.raceMu.Unlock()
-	if h.opts.DedupByAddr && h.racyAddrs[addr] {
-		return
+	// Lock-free early return when this report cannot change anything:
+	// the address is already known racy and either dedup suppresses the
+	// record or the detailed-record cap is full. Keeps the hot path of
+	// systematically racy programs off raceMu entirely.
+	if _, known := h.racySet.Load(addr); known {
+		if h.opts.DedupByAddr || int(h.retained.Load()) >= h.opts.MaxRaces {
+			return
+		}
 	}
-	h.racyAddrs[addr] = true
+	h.raceMu.Lock()
+	if _, loaded := h.racySet.LoadOrStore(addr, true); loaded {
+		if h.opts.DedupByAddr {
+			h.raceMu.Unlock()
+			return
+		}
+	} else {
+		h.racyCount.Add(1)
+	}
 	if len(h.races) < h.opts.MaxRaces {
 		h.races = append(h.races, Race{
 			Addr:       addr,
@@ -305,17 +368,32 @@ func (h *History) report(addr uint64, prev *sched.Strand, prevKind AccessKind, c
 			PrevLabel:  prev.Label(),
 			CurLabel:   cur.Label(),
 		})
+		h.retained.Store(int64(len(h.races)))
 	}
+	h.raceMu.Unlock()
 }
 
 // Read implements sched.AccessChecker: check against the last writer,
-// then record the reader per the configured policy.
+// then record the reader per the configured policy. With FastPath the
+// access goes through the state word + strand batch instead of taking
+// the location's lock here (fastpath.go).
 func (h *History) Read(s *sched.Strand, addr uint64) {
+	if h.fast != nil {
+		h.fastRead(s, addr)
+		return
+	}
 	if h.countLocks {
 		h.lockAcquires.Add(1)
 	}
 	l, release := h.tbl.acquire(addr)
-	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
+	h.applyRead(s, addr, l)
+	release()
+}
+
+// applyRead performs the read-side history update on l, which the caller
+// holds the covering lock for.
+func (h *History) applyRead(s *sched.Strand, addr uint64, l *loc) {
+	if w := l.lastWriter; w != nil && w != s && !h.precedes(w, s) {
 		h.report(addr, w, AccessWrite, s, AccessRead)
 	}
 	switch h.opts.Policy {
@@ -328,7 +406,6 @@ func (h *History) Read(s *sched.Strand, addr uint64) {
 	case ReadersLR:
 		h.updateLR(l, s)
 	}
-	release()
 }
 
 // updateLR maintains the leftmost and rightmost reader of s's future for
@@ -345,14 +422,14 @@ func (h *History) updateLR(l *loc, s *sched.Strand) {
 		return
 	}
 	if p.l != s {
-		if h.opts.Reach.Precedes(p.l, s) {
+		if h.precedes(p.l, s) {
 			p.l = s
 		} else if h.opts.LeftOf(s, p.l) {
 			p.l = s
 		}
 	}
 	if p.r != s {
-		if h.opts.Reach.Precedes(p.r, s) {
+		if h.precedes(p.r, s) {
 			p.r = s
 		} else if h.opts.LeftOf(p.r, s) {
 			p.r = s
@@ -363,36 +440,47 @@ func (h *History) updateLR(l *loc, s *sched.Strand) {
 // Write implements sched.AccessChecker: check against the last writer
 // and all retained readers, then make s the last writer and clear the
 // readers (they are subsumed: any later access racing a cleared reader
-// also races this write or was already reported — §3.6).
+// also races this write or was already reported — §3.6). With FastPath
+// the access goes through the state word + strand batch (fastpath.go).
 func (h *History) Write(s *sched.Strand, addr uint64) {
+	if h.fast != nil {
+		h.fastWrite(s, addr)
+		return
+	}
 	if h.countLocks {
 		h.lockAcquires.Add(1)
 	}
 	l, release := h.tbl.acquire(addr)
-	if w := l.lastWriter; w != nil && w != s && !h.opts.Reach.Precedes(w, s) {
+	h.applyWrite(s, addr, l)
+	release()
+}
+
+// applyWrite performs the write-side history update on l, which the
+// caller holds the covering lock for.
+func (h *History) applyWrite(s *sched.Strand, addr uint64, l *loc) {
+	if w := l.lastWriter; w != nil && w != s && !h.precedes(w, s) {
 		h.report(addr, w, AccessWrite, s, AccessWrite)
 	}
 	switch h.opts.Policy {
 	case ReadersAll:
 		for _, r := range l.readers {
-			if r != s && !h.opts.Reach.Precedes(r, s) {
+			if r != s && !h.precedes(r, s) {
 				h.report(addr, r, AccessRead, s, AccessWrite)
 			}
 		}
 		l.readers = l.readers[:0]
 	case ReadersLR:
 		for _, p := range l.pairs {
-			if p.l != s && !h.opts.Reach.Precedes(p.l, s) {
+			if p.l != s && !h.precedes(p.l, s) {
 				h.report(addr, p.l, AccessRead, s, AccessWrite)
 			}
-			if p.r != p.l && p.r != s && !h.opts.Reach.Precedes(p.r, s) {
+			if p.r != p.l && p.r != s && !h.precedes(p.r, s) {
 				h.report(addr, p.r, AccessRead, s, AccessWrite)
 			}
 		}
 		l.pairs = nil
 	}
 	l.lastWriter = s
-	release()
 }
 
 // RaceCount returns the total number of races reported (including ones
@@ -401,21 +489,22 @@ func (h *History) RaceCount() uint64 { return h.raceCount.Load() }
 
 // Races returns the retained detailed race records.
 func (h *History) Races() []Race {
+	out := make([]Race, 0, int(h.retained.Load()))
 	h.raceMu.Lock()
-	defer h.raceMu.Unlock()
-	return append([]Race(nil), h.races...)
+	out = append(out, h.races...)
+	h.raceMu.Unlock()
+	return out
 }
 
 // RacyAddrs returns the sorted set of addresses on which at least one
 // race was reported — the location-level ground truth the tests compare
-// against the oracle.
+// against the oracle. Reads the lock-free racy set; no raceMu needed.
 func (h *History) RacyAddrs() []uint64 {
-	h.raceMu.Lock()
-	defer h.raceMu.Unlock()
-	out := make([]uint64, 0, len(h.racyAddrs))
-	for a := range h.racyAddrs {
-		out = append(out, a)
-	}
+	out := make([]uint64, 0, int(h.racyCount.Load()))
+	h.racySet.Range(func(k, _ any) bool {
+		out = append(out, k.(uint64))
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -425,16 +514,26 @@ func (h *History) RacyAddrs() []uint64 {
 func (h *History) LockAcquires() uint64 { return h.lockAcquires.Load() }
 
 // MemBytes estimates the history's heap footprint.
-func (h *History) MemBytes() int { return h.tbl.memBytes() }
+func (h *History) MemBytes() int {
+	total := h.tbl.memBytes()
+	if h.fast != nil {
+		total += h.fast.memBytes()
+	}
+	return total
+}
 
 // RegisterStats publishes the history counters (hist.*) on r and enables
-// the shard-lock acquisition counter. Call it before the run starts: the
-// enable flag is read unsynchronized by the access hot path.
+// the lock-acquisition and fast-path counters. Call it before the run
+// starts: the enable flag is read unsynchronized by the access hot path.
 func (h *History) RegisterStats(r *obsv.Registry) {
 	h.countLocks = true
 	r.RegisterFunc("hist.races", func() int64 { return int64(h.raceCount.Load()) })
 	r.RegisterFunc("hist.lock_acquires", func() int64 { return int64(h.lockAcquires.Load()) })
 	r.RegisterFunc("hist.mem_bytes", func() int64 { return int64(h.MemBytes()) })
+	r.RegisterFunc("hist.fastpath_hits", func() int64 { return int64(h.fastHits.Load()) })
+	r.RegisterFunc("hist.batch_flushes", func() int64 { return int64(h.batchFlushes.Load()) })
+	r.RegisterFunc("hist.batch_dedup_hits", func() int64 { return int64(h.dedupHits.Load()) })
+	r.RegisterFunc("hist.precedes_memo_hits", func() int64 { return int64(h.memoHits.Load()) })
 }
 
 // MaxReaders returns the largest retained reader count over all

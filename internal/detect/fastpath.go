@@ -1,0 +1,378 @@
+package detect
+
+// Lock-avoiding fast path of the access history (the paper's §6 future
+// work: "reduce the synchronization overhead by redesigning the access
+// history"). Profiling PR 2's hist.lock_acquires counter confirmed the
+// paper's observation that full-mode overhead is dominated by the sheer
+// volume of lock acquisitions — one per instrumented access — not by
+// contention. Three cooperating mechanisms shed that volume while
+// preserving the per-location detection guarantee (at least one race is
+// reported on a location iff one exists there; see DESIGN.md §4 for the
+// full soundness argument):
+//
+//  1. State word. Every location has an atomically published, immutable
+//     snapshot of its current history state (last writer + most recent
+//     reader), held in a lock-free shadow directory keyed like the
+//     two-level table. An access that repeats the published state — the
+//     recorded strand re-touching the location — adds no information the
+//     locked history would retain, so it skips everything. The load is
+//     seqlock-style validated by re-loading the slot and requiring the
+//     same snapshot.
+//
+//  2. Strand-scoped batching. All accesses of one strand share a single
+//     dag position, so every Precedes verdict involving the strand is
+//     independent of where within the strand the access happened. The
+//     remaining accesses are therefore buffered per strand — deduplicated
+//     by (addr, kind) — grouped by lock unit (shadow page), and applied
+//     under ONE lock acquisition per unit when the strand closes (the
+//     sched.StrandCloser hook), amortizing lock volume by the batch
+//     factor.
+//
+//  3. Precedes memo. The same last writer repeats across a streak of
+//     locations, and Precedes(w, s) is immutable for a fixed pair (all of
+//     s's incoming dag edges exist before s executes), so verdicts are
+//     memoized per current strand in a small direct-mapped table.
+//
+// All per-strand state lives on Strand.Aux (shared with the StrandFilter
+// cache) and is pooled at strand close; strands are only ever executed by
+// one worker at a time, so the batch hot path is synchronization-free.
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"sforder/internal/sched"
+)
+
+// fastState is one published location snapshot: the last writer and the
+// most recently recorded reader since that write (nil when none). A
+// snapshot is immutable after publication; updates allocate a fresh one.
+type fastState struct {
+	writer *sched.Strand
+	reader *sched.Strand
+}
+
+// statePage is one page of the lock-free shadow directory, covering the
+// same pageSize contiguous locations as the two-level table's pages.
+// next is immutable after publication (collision chains insert at head).
+type statePage struct {
+	num   uint64 // addr >> pageBits
+	next  *statePage
+	slots [pageSize]atomic.Pointer[fastState]
+}
+
+// stateDir is the lock-free shadow directory: the same two-level layout
+// as twoLevelTable, but with atomic directory slots and CAS insertion, so
+// lookups and publications never take a lock.
+type stateDir struct {
+	dir [1 << dirBits]atomic.Pointer[statePage]
+}
+
+// load returns addr's published snapshot, or nil when the location has
+// never been flushed.
+func (d *stateDir) load(addr uint64) *fastState {
+	num := addr >> pageBits
+	for p := d.dir[dirSlot(num)].Load(); p != nil; p = p.next {
+		if p.num == num {
+			return p.slots[addr&pageMask].Load()
+		}
+	}
+	return nil
+}
+
+// pageFor returns the page covering page number num, creating it with
+// CAS insertion if needed (only publishers create pages; load never
+// does). Flushes resolve the page once per lock unit — both backends'
+// unitOf is exactly the state directory's page number — and then index
+// slots directly.
+func (d *stateDir) pageFor(num uint64) *statePage {
+	sp := &d.dir[dirSlot(num)]
+	for {
+		head := sp.Load()
+		for p := head; p != nil; p = p.next {
+			if p.num == num {
+				return p
+			}
+		}
+		np := &statePage{num: num, next: head}
+		if sp.CompareAndSwap(head, np) {
+			return np
+		}
+	}
+}
+
+var statePageSize = int(unsafe.Sizeof(statePage{}))
+
+// memBytes estimates the directory's heap footprint.
+func (d *stateDir) memBytes() int {
+	total := len(d.dir) * 8
+	for i := range d.dir {
+		for p := d.dir[i].Load(); p != nil; p = p.next {
+			total += statePageSize
+		}
+	}
+	return total
+}
+
+const (
+	// memoSize is the per-strand Precedes memo size (direct-mapped,
+	// power of two).
+	memoSize = 64
+	// batchCap bounds how many distinct (addr, kind) entries a strand
+	// buffers before an early flush, so long strands cannot defer
+	// unboundedly much work to their close.
+	batchCap = 1024
+	// poolMaxDistinct is the largest per-strand footprint worth pooling;
+	// bigger maps are left to the GC rather than cached forever.
+	poolMaxDistinct = 1 << 14
+)
+
+// unitBatch is a strand's pending accesses within one lock unit.
+type unitBatch struct {
+	addrs []uint64
+	kinds []AccessKind
+}
+
+// batchCacheSize is the per-strand dedup cache size (direct-mapped,
+// power of two). The cache is lossy by design: a collision evicts, and
+// an evicted (addr, kind) is simply batched again — duplicate entries
+// are harmless at apply time (the locked path tolerates same-strand
+// repeats), so misses only cost work, never detection.
+const batchCacheSize = 256
+
+// strandState is the per-strand detector payload hung off Strand.Aux:
+// the access batch, the Precedes memo, and the StrandFilter cache. A
+// strand is executed by one worker at a time, so no synchronization.
+type strandState struct {
+	// seenAddr/seenMask form the direct-mapped (addr → kinds) dedup
+	// cache; a slot is occupied iff its mask is non-zero, so only the
+	// masks need clearing on reuse.
+	seenAddr [batchCacheSize]uint64
+	seenMask [batchCacheSize]uint8
+	units    map[uint64]*unitBatch // lock unit → pending entries
+	free     []*unitBatch          // recycled batches (keep slice capacity warm)
+	pending  int                   // entries buffered since the last flush
+	// distinct counts every entry ever batched by this strand; it keeps
+	// growing across early flushes and gates pooling.
+	distinct int
+	memoK    [memoSize]uint64 // Precedes memo keys (strand ID + 1; 0 = empty)
+	memoV    [memoSize]bool
+	filter   *filterCache // StrandFilter cache (lazily allocated)
+}
+
+const (
+	seenRead  = uint8(1) << AccessRead
+	seenWrite = uint8(1) << AccessWrite
+)
+
+var statePool = sync.Pool{New: func() any {
+	return &strandState{units: map[uint64]*unitBatch{}}
+}}
+
+// stateOf returns s's detector payload, allocating (from the pool) on
+// first use.
+func stateOf(s *sched.Strand) *strandState {
+	if ss, ok := s.Aux.(*strandState); ok {
+		return ss
+	}
+	ss := statePool.Get().(*strandState)
+	s.Aux = ss
+	return ss
+}
+
+// releaseStrandState detaches and pools s's payload. Idempotent: a second
+// call finds Aux nil and does nothing — which also makes a StrandClose
+// after an abort-time best-effort flush safe.
+func releaseStrandState(s *sched.Strand) {
+	ss, ok := s.Aux.(*strandState)
+	if !ok {
+		return
+	}
+	s.Aux = nil
+	if ss.distinct > poolMaxDistinct {
+		return // oversized maps go to the GC, not the pool
+	}
+	ss.seenMask = [batchCacheSize]uint8{} // seenAddr is guarded by the masks
+	for _, ub := range ss.units {
+		if len(ss.free) < 64 {
+			ub.addrs, ub.kinds = ub.addrs[:0], ub.kinds[:0]
+			ss.free = append(ss.free, ub)
+		}
+	}
+	clear(ss.units)
+	ss.pending, ss.distinct = 0, 0
+	ss.memoK = [memoSize]uint64{} // memoV is guarded by memoK
+	if ss.filter != nil {
+		*ss.filter = filterCache{}
+	}
+	statePool.Put(ss)
+}
+
+// precedes answers Reach.Precedes through the per-strand memo when the
+// fast path is enabled. Sound because the verdict is immutable for a
+// fixed (u, v): every dag edge into v exists before v begins executing,
+// so no event during v's lifetime can create or destroy a u ⇝ v path.
+func (h *History) precedes(u, v *sched.Strand) bool {
+	if h.fast == nil {
+		return h.opts.Reach.Precedes(u, v)
+	}
+	ss := stateOf(v)
+	i := u.ID & (memoSize - 1)
+	if ss.memoK[i] == u.ID+1 {
+		if h.countLocks {
+			h.memoHits.Add(1)
+		}
+		return ss.memoV[i]
+	}
+	ok := h.opts.Reach.Precedes(u, v)
+	ss.memoK[i] = u.ID + 1
+	ss.memoV[i] = ok
+	return ok
+}
+
+// fastRead is the lock-avoiding read path. The state-word hit fires when
+// s is already recorded for this location — as the last writer (the
+// writer check subsumes the reader check for the same strand) or as the
+// recorded reader since the last write — in which case the locked
+// history would retain nothing new and every verdict it would compute is
+// already decided. The double load validates the snapshot seqlock-style.
+func (h *History) fastRead(s *sched.Strand, addr uint64) {
+	if st := h.fast.load(addr); st != nil && (st.reader == s || st.writer == s) && h.fast.load(addr) == st {
+		if h.countLocks {
+			h.fastHits.Add(1)
+		}
+		return
+	}
+	h.batchAccess(s, addr, AccessRead)
+}
+
+// fastWrite is the lock-avoiding write path: a strand re-writing a
+// location it is already the published last writer of changes nothing
+// (the readers it would clear were each recorded after s's write by
+// strands parallel to s, and therefore already reported).
+func (h *History) fastWrite(s *sched.Strand, addr uint64) {
+	if st := h.fast.load(addr); st != nil && st.writer == s && h.fast.load(addr) == st {
+		if h.countLocks {
+			h.fastHits.Add(1)
+		}
+		return
+	}
+	h.batchAccess(s, addr, AccessWrite)
+}
+
+// batchAccess buffers one access in s's strand batch, deduplicating by
+// (addr, kind) with the StrandFilter rules: a read is subsumed by any
+// earlier same-strand access to the address, a write by an earlier
+// same-strand write. The dedup cache is lossy (direct-mapped); an
+// evicted entry is batched again, which the apply path tolerates.
+func (h *History) batchAccess(s *sched.Strand, addr uint64, kind AccessKind) {
+	ss := stateOf(s)
+	i := (addr * 0x9e3779b97f4a7c15 >> 32) & (batchCacheSize - 1)
+	m := ss.seenMask[i]
+	if m != 0 && ss.seenAddr[i] == addr {
+		if m&(uint8(1)<<kind) != 0 || (kind == AccessRead && m&seenWrite != 0) {
+			if h.countLocks {
+				h.dedupHits.Add(1)
+			}
+			return
+		}
+		ss.seenMask[i] = m | uint8(1)<<kind
+	} else {
+		ss.seenAddr[i] = addr
+		ss.seenMask[i] = uint8(1) << kind
+	}
+	unit := h.tbl.unitOf(addr)
+	ub := ss.units[unit]
+	if ub == nil {
+		if n := len(ss.free); n > 0 {
+			ub = ss.free[n-1]
+			ss.free = ss.free[:n-1]
+		} else {
+			ub = &unitBatch{}
+		}
+		ss.units[unit] = ub
+	}
+	ub.addrs = append(ub.addrs, addr)
+	ub.kinds = append(ub.kinds, kind)
+	ss.pending++
+	ss.distinct++
+	if ss.pending >= batchCap {
+		h.flush(s, ss)
+	}
+}
+
+// flush applies every pending entry of s's batch to the locked history,
+// one lock acquisition per lock unit, and publishes the resulting
+// location snapshots to the shadow directory. Entries within a unit are
+// applied in program order (a strand's read-then-write of an address
+// must check in that order).
+func (h *History) flush(s *sched.Strand, ss *strandState) {
+	if ss.pending == 0 {
+		return
+	}
+	for unit, ub := range ss.units {
+		if len(ub.addrs) == 0 {
+			continue
+		}
+		if h.countLocks {
+			h.lockAcquires.Add(1)
+			h.batchFlushes.Add(1)
+		}
+		// Snapshots are immutable and shared: one {writer: s} for every
+		// write of this flush, and one per last-writer streak for reads
+		// (the same last writer repeats across a streak of locations).
+		sp := h.fast.pageFor(unit)
+		var wst, rst *fastState
+		h.tbl.applyUnit(unit, ub.addrs, func(i int, l *loc) {
+			addr := ub.addrs[i]
+			if ub.kinds[i] == AccessWrite {
+				h.applyWrite(s, addr, l)
+				if wst == nil {
+					wst = &fastState{writer: s}
+				}
+				sp.slots[addr&pageMask].Store(wst)
+			} else {
+				h.applyRead(s, addr, l)
+				if rst == nil || rst.writer != l.lastWriter {
+					rst = &fastState{writer: l.lastWriter, reader: s}
+				}
+				sp.slots[addr&pageMask].Store(rst)
+			}
+		})
+		ub.addrs = ub.addrs[:0]
+		ub.kinds = ub.kinds[:0]
+	}
+	ss.pending = 0
+}
+
+// StrandClose implements sched.StrandCloser: the engine calls it exactly
+// when s ends, before any dag-successor strand begins — the point where
+// deferred accesses must become visible so successors' checks see them
+// and the successors' own accesses are checked against them.
+func (h *History) StrandClose(s *sched.Strand) {
+	ss, ok := s.Aux.(*strandState)
+	if !ok {
+		return
+	}
+	if h.fast != nil {
+		h.flush(s, ss)
+	}
+	releaseStrandState(s)
+}
+
+// FastPathHits returns how many accesses the published state word
+// absorbed without any history work (zero unless stats were enabled).
+func (h *History) FastPathHits() uint64 { return h.fastHits.Load() }
+
+// BatchFlushes returns how many single-lock batch applications ran.
+func (h *History) BatchFlushes() uint64 { return h.batchFlushes.Load() }
+
+// BatchDedupHits returns how many accesses the per-strand (addr, kind)
+// dedup dropped before they reached a lock.
+func (h *History) BatchDedupHits() uint64 { return h.dedupHits.Load() }
+
+// MemoHits returns how many Precedes verdicts the per-strand memo served.
+func (h *History) MemoHits() uint64 { return h.memoHits.Load() }
+
+var _ sched.StrandCloser = (*History)(nil)

@@ -1,0 +1,306 @@
+package detect_test
+
+import (
+	"sync"
+	"testing"
+
+	"sforder/internal/core"
+	"sforder/internal/dag"
+	"sforder/internal/detect"
+	"sforder/internal/obsv"
+	"sforder/internal/oracle"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// runRacy executes p serially under full SF-Order detection and returns
+// the racy-location set. The History is the engine's checker directly so
+// the StrandCloser hook fires (required by the fast path).
+func runRacy(t *testing.T, p *progen.Program, opts detect.Options) []uint64 {
+	t.Helper()
+	reach := core.NewReach()
+	opts.Reach = reach
+	if opts.Policy == detect.ReadersLR {
+		opts.LeftOf = reach.LeftOf
+	}
+	hist := detect.NewHistory(opts)
+	if _, err := sched.Run(sched.Options{Serial: true, Tracer: reach, Checker: hist}, p.Main()); err != nil {
+		t.Fatal(err)
+	}
+	return hist.RacyAddrs()
+}
+
+// runOracle executes p serially under the exhaustive oracle and returns
+// the ground-truth racy-location set.
+func runOracle(t *testing.T, p *progen.Program) []uint64 {
+	t.Helper()
+	reach := core.NewReach()
+	rec := dag.NewRecorder()
+	log := oracle.NewLogger()
+	_, err := sched.Run(sched.Options{
+		Serial:  true,
+		Tracer:  sched.MultiTracer{reach, rec},
+		Checker: log,
+	}, p.Main())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log.RacyAddrs(rec)
+}
+
+func sameAddrs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFastPathMatchesOracleFuzz is the fast path's soundness fuzz: on
+// random programs, the racy-location set with the fast path on must be
+// byte-identical to the set with it off AND to the exhaustive oracle,
+// on both backends. Programs run in separate engine executions (the dag
+// and access addresses are deterministic), so each detector variant gets
+// the StrandCloser hook it needs.
+func TestFastPathMatchesOracleFuzz(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		want := runOracle(t, p)
+		for _, backend := range []detect.Backend{detect.BackendShardedMap, detect.BackendTwoLevel} {
+			off := runRacy(t, p, detect.Options{Backend: backend})
+			on := runRacy(t, p, detect.Options{Backend: backend, FastPath: true})
+			if !sameAddrs(off, want) {
+				t.Fatalf("seed %d backend %v: fastpath off %v, oracle %v", seed, backend, off, want)
+			}
+			if !sameAddrs(on, want) {
+				t.Fatalf("seed %d backend %v: fastpath on %v, oracle %v", seed, backend, on, want)
+			}
+		}
+	}
+}
+
+// TestFastPathLRPolicyAgreement repeats the fuzz under the ReadersLR
+// retention policy (which routes Precedes through updateLR and therefore
+// through the per-strand memo).
+func TestFastPathLRPolicyAgreement(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		want := runOracle(t, p)
+		on := runRacy(t, p, detect.Options{Policy: detect.ReadersLR, FastPath: true})
+		if !sameAddrs(on, want) {
+			t.Fatalf("seed %d: fastpath+LR %v, oracle %v", seed, on, want)
+		}
+	}
+}
+
+// TestFastPathParallelAgreement runs random programs on the parallel
+// engine (4 workers) with the fast path on and compares the racy set to
+// the serial oracle: the detection guarantee is per-location and
+// schedule-independent, so every schedule must produce the same set.
+func TestFastPathParallelAgreement(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		want := runOracle(t, p)
+		for rep := 0; rep < 3; rep++ {
+			reach := core.NewReach()
+			hist := detect.NewHistory(detect.Options{Reach: reach, FastPath: true})
+			if _, err := sched.Run(sched.Options{Workers: 4, Tracer: reach, Checker: hist}, p.Main()); err != nil {
+				t.Fatal(err)
+			}
+			if got := hist.RacyAddrs(); !sameAddrs(got, want) {
+				t.Fatalf("seed %d rep %d: parallel fastpath %v, oracle %v", seed, rep, got, want)
+			}
+		}
+	}
+}
+
+// TestFastPathStateWordHammer drives concurrent strands over a small
+// shared address set with interleaved flushes, so state-word loads race
+// against publications — the seqlock-style validation must be clean
+// under the Go race detector (go test -race covers this file in CI).
+func TestFastPathStateWordHammer(t *testing.T) {
+	histFast := detect.NewHistory(detect.Options{
+		Reach:       &stubReach{prec: map[[2]uint64]bool{}},
+		DedupByAddr: true,
+		FastPath:    true,
+	})
+	fut := &sched.FutureTask{ID: 0}
+	const goroutines, rounds, addrs = 8, 200, 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// One strand per round: accesses batch on it, and the
+				// close publishes the state words other goroutines load.
+				s := &sched.Strand{ID: id*rounds + uint64(r), Fut: fut}
+				for a := uint64(0); a < addrs; a++ {
+					if (a+id)%4 == 0 {
+						histFast.Write(s, a)
+					} else {
+						histFast.Read(s, a)
+						histFast.Read(s, a) // repeat: dedup / state-word hit
+					}
+				}
+				histFast.StrandClose(s)
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	// Everything is parallel under the stub reach, so every address saw
+	// both a read and a write from different strands: all racy.
+	if got := len(histFast.RacyAddrs()); got != addrs {
+		t.Fatalf("racy addrs = %d, want %d", got, addrs)
+	}
+}
+
+// TestStrandCloseIdempotent: closing a strand twice (engine close after
+// an abort-time best-effort close) must be harmless.
+func TestStrandCloseIdempotent(t *testing.T) {
+	h := detect.NewHistory(detect.Options{
+		Reach:    &stubReach{prec: map[[2]uint64]bool{}},
+		FastPath: true,
+	})
+	s := fakeStrands(1)[0]
+	h.Write(s, 1)
+	h.StrandClose(s)
+	h.StrandClose(s) // no-op
+	h.Read(s, 1)     // a "reopened" strand just batches afresh
+	h.StrandClose(s)
+	if h.RaceCount() != 0 {
+		t.Fatalf("self accesses reported as races: %v", h.Races())
+	}
+}
+
+// TestFastPathEarlyFlush: a strand exceeding the batch capacity must
+// flush early (bounding deferred work), after which re-accesses hit the
+// published state word without any history traffic.
+func TestFastPathEarlyFlush(t *testing.T) {
+	h := detect.NewHistory(detect.Options{
+		Reach:    &stubReach{prec: map[[2]uint64]bool{}},
+		FastPath: true,
+	})
+	h.RegisterStats(obsv.NewRegistry()) // enable the counters
+	ss := fakeStrands(2)
+	const distinct = 1500 // > batchCap (1024)
+	for a := uint64(0); a < distinct; a++ {
+		h.Write(ss[0], a)
+	}
+	if h.BatchFlushes() == 0 {
+		t.Fatal("early flush did not fire before strand close")
+	}
+	// Addresses from the flushed prefix are published: re-writing one is
+	// a pure state-word hit.
+	before := h.FastPathHits()
+	h.Write(ss[0], 0)
+	if h.FastPathHits() != before+1 {
+		t.Fatalf("re-write after flush: fastpath hits %d, want %d", h.FastPathHits(), before+1)
+	}
+	h.StrandClose(ss[0])
+	// A parallel strand touching every address must race on each.
+	for a := uint64(0); a < distinct; a++ {
+		h.Write(ss[1], a)
+	}
+	h.StrandClose(ss[1])
+	if got := len(h.RacyAddrs()); got != distinct {
+		t.Fatalf("racy addrs = %d, want %d", got, distinct)
+	}
+	if h.LockAcquires() >= distinct {
+		t.Fatalf("lock acquires %d not amortized below %d accesses", h.LockAcquires(), distinct)
+	}
+}
+
+// TestFastPathDedupSubsumption checks the batch's (addr, kind) rules: a
+// read is subsumed by a prior same-strand read or write, a write only by
+// a prior write — a write after a mere read must flush as a write.
+func TestFastPathDedupSubsumption(t *testing.T) {
+	h := detect.NewHistory(detect.Options{
+		Reach:    &stubReach{prec: map[[2]uint64]bool{}},
+		FastPath: true,
+	})
+	h.RegisterStats(obsv.NewRegistry())
+	ss := fakeStrands(2)
+	h.Read(ss[0], 9)
+	h.Read(ss[0], 9)  // dup read
+	h.Write(ss[0], 9) // NOT subsumed: must take over the writer slot
+	h.Write(ss[0], 9) // dup write
+	h.Read(ss[0], 9)  // subsumed by the write
+	h.StrandClose(ss[0])
+	if h.BatchDedupHits() != 3 {
+		t.Fatalf("dedup hits = %d, want 3", h.BatchDedupHits())
+	}
+	// ss[1] reads: must race against ss[0]'s WRITE (kind preserved).
+	h.Read(ss[1], 9)
+	h.StrandClose(ss[1])
+	races := h.Races()
+	if len(races) != 1 || races[0].Prev != detect.AccessWrite {
+		t.Fatalf("want one write/read race, got %v", races)
+	}
+}
+
+// TestFastPathMemoServesRepeatedVerdicts: a streak of locations with the
+// same last writer must hit the per-strand Precedes memo.
+func TestFastPathMemoServesRepeatedVerdicts(t *testing.T) {
+	ss := fakeStrands(2)
+	h := detect.NewHistory(detect.Options{
+		Reach:    orderAll(ss),
+		FastPath: true,
+	})
+	h.RegisterStats(obsv.NewRegistry())
+	for a := uint64(0); a < 100; a++ {
+		h.Write(ss[0], a)
+	}
+	h.StrandClose(ss[0])
+	for a := uint64(0); a < 100; a++ {
+		h.Write(ss[1], a) // each checks Precedes(ss[0], ss[1])
+	}
+	h.StrandClose(ss[1])
+	if h.RaceCount() != 0 {
+		t.Fatalf("serial writes reported racy: %v", h.Races())
+	}
+	if h.MemoHits() < 90 {
+		t.Fatalf("memo hits = %d, want ≥ 90 of 100 repeated verdicts", h.MemoHits())
+	}
+}
+
+// TestTwoLevelConcurrentPageCreation hammers the lock-free directory's
+// CAS insertion: many goroutines force page creation across colliding
+// directory slots; every access must land on a correct page (validated
+// by the race count being exactly one per address afterwards).
+func TestTwoLevelConcurrentPageCreation(t *testing.T) {
+	h := newTwoLevelHistory(map[[2]uint64]bool{})
+	fut := &sched.FutureTask{ID: 0}
+	const goroutines = 8
+	const pages = 2048
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			s := &sched.Strand{ID: 1 + id, Fut: fut}
+			for p := uint64(0); p < pages; p++ {
+				h.Read(s, p<<8|id) // distinct slot per goroutine: no races
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if h.RaceCount() != 0 {
+		t.Fatalf("distinct addresses reported racy: %d", h.RaceCount())
+	}
+	// Now one writer over every goroutine's addresses: if any page or
+	// slot was lost during concurrent creation, a race goes missing.
+	w := &sched.Strand{ID: 0, Fut: fut}
+	for p := uint64(0); p < pages; p++ {
+		for id := uint64(0); id < goroutines; id++ {
+			h.Write(w, p<<8|id)
+		}
+	}
+	if want := uint64(pages * goroutines); h.RaceCount() != want {
+		t.Fatalf("RaceCount = %d, want %d (one per address)", h.RaceCount(), want)
+	}
+}

@@ -59,13 +59,26 @@ func NewStrandFilter(inner sched.AccessChecker) *StrandFilter {
 	return &StrandFilter{inner: inner}
 }
 
+// cacheOf returns s's filter cache, hung off the shared per-strand
+// detector payload (strandState) so the filter composes with the fast
+// path's batch and memo on the same Strand.Aux slot.
 func cacheOf(s *sched.Strand) *filterCache {
-	if c, ok := s.Aux.(*filterCache); ok {
-		return c
+	ss := stateOf(s)
+	if ss.filter == nil {
+		ss.filter = &filterCache{}
 	}
-	c := &filterCache{}
-	s.Aux = c
-	return c
+	return ss.filter
+}
+
+// StrandClose implements sched.StrandCloser: forward the close to the
+// wrapped checker (so a fast-path History flushes its batch), then
+// release the shared per-strand state.
+func (f *StrandFilter) StrandClose(s *sched.Strand) {
+	if c, ok := f.inner.(sched.StrandCloser); ok {
+		c.StrandClose(s)
+		return
+	}
+	releaseStrandState(s)
 }
 
 func slot(addr uint64) int {
@@ -99,3 +112,4 @@ func (f *StrandFilter) Write(s *sched.Strand, addr uint64) {
 }
 
 var _ sched.AccessChecker = (*StrandFilter)(nil)
+var _ sched.StrandCloser = (*StrandFilter)(nil)

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"sync"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -14,6 +15,12 @@ import (
 // granularity. Directory collisions chain pages (the paper can evict
 // like a real cache; a race detector that must not miss races cannot,
 // so we chain).
+//
+// Directory slots are atomic pointers with CAS insertion at the chain
+// head, so page lookup — on every instrumented access — is lock-free;
+// only a losing CAS (two workers creating the same page at once) retries.
+// A page's num and next fields are immutable once the page is published,
+// so chain walks need no synchronization beyond the slot load.
 const (
 	dirBits  = 12 // 4096 directory slots
 	pageBits = 8  // 256 locations per page
@@ -25,12 +32,11 @@ type page struct {
 	mu    sync.Mutex
 	num   uint64 // addr >> pageBits
 	slots [pageSize]*loc
-	next  *page // directory-collision chain
+	next  *page // directory-collision chain; immutable after publication
 }
 
 type twoLevelTable struct {
-	mu  sync.Mutex // guards directory updates (page insertion only)
-	dir [1 << dirBits]*page
+	dir [1 << dirBits]atomic.Pointer[page]
 }
 
 func newTwoLevelTable() *twoLevelTable { return &twoLevelTable{} }
@@ -39,22 +45,28 @@ func dirSlot(pageNum uint64) int {
 	return int((pageNum * 0x9e3779b97f4a7c15) >> (64 - dirBits))
 }
 
-// pageOf finds or creates the page covering addr.
+// pageOf finds or creates the page covering addr, lock-free: walk the
+// chain, and if the page is missing CAS a new one in at the head. A lost
+// CAS means another worker changed the head — rewalk (the page may now
+// exist) and retry.
 func (t *twoLevelTable) pageOf(addr uint64) *page {
 	num := addr >> pageBits
-	slot := dirSlot(num)
-	t.mu.Lock()
-	p := t.dir[slot]
-	for p != nil && p.num != num {
-		p = p.next
+	sp := &t.dir[dirSlot(num)]
+	for {
+		head := sp.Load()
+		for p := head; p != nil; p = p.next {
+			if p.num == num {
+				return p
+			}
+		}
+		np := &page{num: num, next: head}
+		if sp.CompareAndSwap(head, np) {
+			return np
+		}
 	}
-	if p == nil {
-		p = &page{num: num, next: t.dir[slot]}
-		t.dir[slot] = p
-	}
-	t.mu.Unlock()
-	return p
 }
+
+func (t *twoLevelTable) unitOf(addr uint64) uint64 { return addr >> pageBits }
 
 func (t *twoLevelTable) acquire(addr uint64) (*loc, func()) {
 	p := t.pageOf(addr)
@@ -68,23 +80,32 @@ func (t *twoLevelTable) acquire(addr uint64) (*loc, func()) {
 	return l, p.mu.Unlock
 }
 
-func (t *twoLevelTable) forEach(fn func(*loc)) {
-	t.mu.Lock()
-	var pages []*page
-	for _, p := range t.dir {
-		for ; p != nil; p = p.next {
-			pages = append(pages, p)
+func (t *twoLevelTable) applyUnit(unit uint64, addrs []uint64, fn func(int, *loc)) {
+	p := t.pageOf(unit << pageBits)
+	p.mu.Lock()
+	for i, a := range addrs {
+		j := int(a & pageMask)
+		l := p.slots[j]
+		if l == nil {
+			l = &loc{}
+			p.slots[j] = l
 		}
+		fn(i, l)
 	}
-	t.mu.Unlock()
-	for _, p := range pages {
-		p.mu.Lock()
-		for _, l := range p.slots {
-			if l != nil {
-				fn(l)
+	p.mu.Unlock()
+}
+
+func (t *twoLevelTable) forEach(fn func(*loc)) {
+	for i := range t.dir {
+		for p := t.dir[i].Load(); p != nil; p = p.next {
+			p.mu.Lock()
+			for _, l := range p.slots {
+				if l != nil {
+					fn(l)
+				}
 			}
+			p.mu.Unlock()
 		}
-		p.mu.Unlock()
 	}
 }
 
@@ -96,13 +117,11 @@ func (t *twoLevelTable) memBytes() int {
 	t.forEach(func(l *loc) {
 		total += locSize + 8*cap(l.readers) + pairSize*len(l.pairs)
 	})
-	t.mu.Lock()
-	for _, p := range t.dir {
-		for ; p != nil; p = p.next {
+	for i := range t.dir {
+		for p := t.dir[i].Load(); p != nil; p = p.next {
 			total += pageOverhead
 		}
 	}
-	t.mu.Unlock()
 	return total
 }
 

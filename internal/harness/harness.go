@@ -95,6 +95,9 @@ type Config struct {
 	// Filter puts the strand-local redundancy filter in front of the
 	// access history (the §6 future-work extension; ABL4).
 	Filter bool
+	// FastPath enables the access history's lock-avoiding path (state
+	// word + strand batching + Precedes memo; ABL7).
+	FastPath bool
 	// DedupByAddr keeps at most one detailed race record per address.
 	DedupByAddr bool
 	// Backend selects the shadow-table layout for Full mode.
@@ -179,6 +182,7 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 			Policy:      cfg.Policy,
 			Backend:     cfg.Backend,
 			DedupByAddr: cfg.DedupByAddr,
+			FastPath:    cfg.FastPath,
 		}
 		if cfg.Policy == detect.ReadersLR {
 			if leftOf == nil {

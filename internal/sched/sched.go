@@ -136,6 +136,16 @@ type AccessChecker interface {
 	Write(s *Strand, addr uint64)
 }
 
+// StrandCloser is optionally implemented by an AccessChecker that defers
+// per-strand work (e.g. detect's batched fast path). The engine calls
+// StrandClose exactly once per ended strand, at the point the strand's
+// last access has happened and before the tracer event ending it — and
+// therefore before any dag-successor strand can begin executing. Serial
+// and parallel engines both honor it.
+type StrandCloser interface {
+	StrandClose(s *Strand)
+}
+
 // MultiTracer fans events out to several tracers in order.
 type MultiTracer []Tracer
 
@@ -241,6 +251,7 @@ type engine struct {
 	opts    Options
 	tracer  Tracer
 	checker AccessChecker
+	closer  StrandCloser      // non-nil when the checker wants strand-close hooks
 	check   bool              // Options.CheckStructure, hoisted for the hot paths
 	trace   *obsv.TraceWriter // Options.Trace, consulted for steal instants
 
@@ -268,6 +279,9 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 		check:   opts.CheckStructure,
 		trace:   opts.Trace,
 		abortCh: make(chan struct{}),
+	}
+	if c, ok := opts.Checker.(StrandCloser); ok {
+		e.closer = c
 	}
 	if opts.Trace != nil {
 		tt := &traceTracer{tw: opts.Trace}
@@ -368,6 +382,17 @@ func (e *engine) newFuture(parent *FutureTask) *FutureTask {
 		ID:     int(e.futureID.Add(1) - 1),
 		Parent: parent,
 		done:   make(chan struct{}),
+	}
+}
+
+// closeStrand notifies the checker that s has ended. Call sites are the
+// soundness-critical part: each sits after s's last possible access and
+// before the tracer event ending s, so a deferring checker flushes while
+// the reachability structures still describe s's execution and before
+// any dag successor of s runs.
+func (e *engine) closeStrand(s *Strand) {
+	if e.closer != nil {
+		e.closer.StrandClose(s)
 	}
 }
 
@@ -518,6 +543,13 @@ func (w *worker) runJob(j *job) {
 			if _, ok := r.(errAbortUnwind); !ok {
 				w.eng.abort(r)
 			}
+			// Best-effort close of the strand that was executing, so a
+			// deferring checker keeps its partial results on failure.
+			// Guarded by its own recover: the checker may be mid-update.
+			func() {
+				defer func() { _ = recover() }()
+				w.eng.closeStrand(j.task.cur)
+			}()
 		}
 		w.eng.pending.Add(-1)
 	}()
@@ -543,6 +575,10 @@ func (e *engine) runBody(t *Task, w *worker) {
 		t.body(t)
 	}
 	sink := t.implicitSync()
+	// The sink strand ends here: flush deferred accesses before the
+	// put/return event makes successors (getters, the parent's sync
+	// strand) runnable.
+	e.closeStrand(sink)
 
 	if t.isFutureBody {
 		f := t.fut

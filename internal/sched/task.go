@@ -69,6 +69,9 @@ func (t *Task) Spawn(fn func(*Task)) {
 	e := t.eng
 	e.cSpawns.Add(1)
 	u := t.cur
+	// u ends at the spawn: flush deferred accesses before the child (a
+	// dag successor) becomes runnable and before OnSpawn grows the dag.
+	e.closeStrand(u)
 	b, placeholder := t.ensureBlock()
 	child := e.newStrand(t.fut)
 	cont := e.newStrand(t.fut)
@@ -126,6 +129,10 @@ func (t *Task) Sync() {
 // its join strand.
 func (t *Task) closeRegion(b *syncBlock) {
 	e := t.eng
+	// The pre-sync strand ends here: flush before draining children
+	// inline (they are logically parallel to it and must check against
+	// its records) and before OnSync activates the join strand.
+	e.closeStrand(t.cur)
 	e.drainAndWait(b, t.worker)
 	k := t.cur
 	s := b.placeholder
@@ -189,6 +196,8 @@ func (e *engine) drainAndWait(b *syncBlock, w *worker) {
 func (t *Task) Create(fn func(*Task) any) *Future {
 	e := t.eng
 	u := t.cur
+	// u ends at the create: flush before the future body can run.
+	e.closeStrand(u)
 	_, placeholder := t.ensureBlock()
 	ft := e.newFuture(t.fut)
 	childHorizon := t.horizon
@@ -236,6 +245,9 @@ func (t *Task) Create(fn func(*Task) any) *Future {
 func (t *Task) Get(f *Future) any {
 	e := t.eng
 	e.cGets.Add(1)
+	// The pre-get strand ends here: flush before possibly running the
+	// future body inline and before OnGet activates the get strand.
+	e.closeStrand(t.cur)
 	ft := f.ft
 	if !ft.gotten.CompareAndSwap(false, true) {
 		panic(ft.doubleTouchMsg(callerPC(1)))

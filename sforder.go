@@ -144,6 +144,14 @@ type Config struct {
 	// granularity is unchanged; loop-heavy workloads check in much less
 	// often.
 	StrandFilter bool
+	// FastPath enables the access history's lock-avoiding path: a
+	// per-location published state word absorbs redundant accesses
+	// without locking, the rest are buffered per strand and applied one
+	// lock acquisition per shadow page when the strand ends, and
+	// Precedes verdicts are memoized per strand. Detection at location
+	// granularity is unchanged (DESIGN.md §4). Cuts hist.lock_acquires
+	// by the batch factor on loop-heavy workloads.
+	FastPath bool
 	// DedupByAddr reports at most one detailed race record per memory
 	// location: after the first report on an address, later races there
 	// are counted in RaceCount but not retained in Races. Keeps reports
@@ -273,6 +281,7 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 				MaxRaces:    cfg.MaxRaces,
 				Backend:     cfg.Backend,
 				DedupByAddr: cfg.DedupByAddr,
+				FastPath:    cfg.FastPath,
 			})
 			if reg != nil {
 				hist.RegisterStats(reg)
