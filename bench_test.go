@@ -8,6 +8,7 @@
 //	BenchmarkAblationGpMerge      — ABL2: §3.4 merge-on-divergence vs always-merge
 //	BenchmarkAblationBitmapVsHash — ABL3: SF-Order bitmaps vs F-Order tables, reach only
 //	BenchmarkAblationFastPath     — ABL7: lock-avoiding access history on vs off
+//	BenchmarkAblationOMLock       — ABL8: fine-grained vs global OM locking × arenas vs heap
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -301,6 +302,46 @@ func BenchmarkAblationFastPath(b *testing.B) {
 				})
 				b.ReportMetric(float64(res.Stats["hist.lock_acquires"]), "lock-acquires")
 				b.ReportMetric(float64(res.Stats["hist.fastpath_hits"]), "fastpath-hits")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationOMLock (ABL8): reachability maintenance at 4 workers
+// with the order-maintenance lists under fine-grained bucket locking vs
+// the single list-level lock, and with per-worker slab arenas vs plain
+// heap allocation. The om-lock-acquires metric is the acceptance
+// quantity: fine-grained locking must cut list-level lock acquisitions
+// by at least 2× on mm (in practice the maintenance lock is only taken
+// at bucket splits, so the drop is far larger).
+func BenchmarkAblationOMLock(b *testing.B) {
+	benches := []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.HW(4, 16, 256),
+		workload.Sort(20_000, 512),
+	}
+	for _, bench := range benches {
+		bench := bench
+		for _, v := range []struct {
+			name    string
+			global  bool
+			noArena bool
+		}{
+			{"fine-arena", false, false},
+			{"fine-heap", false, true},
+			{"global-arena", true, false},
+			{"global-heap", true, true},
+		} {
+			v := v
+			b.Run(bench.Name+"/"+v.name, func(b *testing.B) {
+				res := measure(b, bench, harness.Config{
+					Detector: harness.SFOrder, Mode: harness.Reach, Workers: 4,
+					OMGlobalLock: v.global, NoArena: v.noArena,
+					Registry: obsv.NewRegistry(),
+				})
+				b.ReportMetric(float64(res.Stats["om.lock_acquires"]), "om-lock-acquires")
+				b.ReportMetric(float64(res.Stats["om.bucket_locks"]), "om-bucket-locks")
+				b.ReportMetric(float64(res.Stats["core.arena_bytes"]), "arena-bytes")
 			})
 		}
 	}

@@ -45,6 +45,8 @@ func main() {
 		httpAddr = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 		dedup    = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
 		fastpath = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
+		omglobal = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
+		noarena  = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,8 @@ func main() {
 			traceOut: *traceOut,
 			dedup:    *dedup,
 			fastpath: *fastpath,
+			omglobal: *omglobal,
+			noarena:  *noarena,
 			block:    *httpAddr != "",
 		})
 	default:
@@ -97,6 +101,8 @@ type oneOpts struct {
 	traceOut string
 	dedup    bool
 	fastpath bool
+	omglobal bool
+	noarena  bool
 	block    bool // keep serving -http after the run completes
 }
 
@@ -182,14 +188,16 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 		fatalf("unknown policy %q", policy)
 	}
 	cfg := harness.Config{
-		Detector:    det,
-		Mode:        md,
-		Workers:     workers,
-		Serial:      det == harness.MultiBags,
-		Policy:      pol,
-		DedupByAddr: obs.dedup,
-		FastPath:    obs.fastpath,
-		Registry:    obs.reg,
+		Detector:     det,
+		Mode:         md,
+		Workers:      workers,
+		Serial:       det == harness.MultiBags,
+		Policy:       pol,
+		DedupByAddr:  obs.dedup,
+		FastPath:     obs.fastpath,
+		OMGlobalLock: obs.omglobal,
+		NoArena:      obs.noarena,
+		Registry:     obs.reg,
 	}
 	var traceFile *os.File
 	if obs.traceOut != "" {

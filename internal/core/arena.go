@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"sforder/internal/bitset"
+	"sforder/internal/om"
+)
+
+// Slab arenas for the reach hot path. Every spawn/create/get allocates
+// per-strand node records, OM items, and (for creates/gets/merges)
+// bitmap words; drawing them from per-lane slabs turns those heap
+// allocations into pointer bumps and lets a finished Run recycle the
+// memory wholesale through sync.Pool instead of leaving it to the GC.
+
+const (
+	nodeChunkLen = 256 // 256 × 24 B = 6 KiB per slab
+	metaChunkLen = 64  // futures are ~1000× rarer than strands
+)
+
+type nodeChunk struct{ nodes [nodeChunkLen]node }
+type metaChunk struct{ metas [metaChunkLen]futMeta }
+
+var (
+	nodeChunkPool = sync.Pool{New: func() any { return new(nodeChunk) }}
+	metaChunkPool = sync.Pool{New: func() any { return new(metaChunk) }}
+)
+
+// nodeSlab bump-allocates node records from pooled chunks. A nil
+// *nodeSlab falls back to the heap. Single-owner; byte counters are
+// atomic so stats gauges can scrape mid-run.
+type nodeSlab struct {
+	cur    *nodeChunk
+	next   int
+	chunks []*nodeChunk
+	bytes  atomic.Int64
+}
+
+func (s *nodeSlab) get() *node {
+	if s == nil {
+		return &node{}
+	}
+	if s.cur == nil || s.next == nodeChunkLen {
+		s.cur = nodeChunkPool.Get().(*nodeChunk)
+		s.chunks = append(s.chunks, s.cur)
+		s.next = 0
+		s.bytes.Add(int64(unsafe.Sizeof(nodeChunk{})))
+	}
+	n := &s.cur.nodes[s.next]
+	s.next++
+	*n = node{}
+	return n
+}
+
+func (s *nodeSlab) release() {
+	for i, c := range s.chunks {
+		s.chunks[i] = nil
+		nodeChunkPool.Put(c)
+	}
+	s.chunks = s.chunks[:0]
+	s.cur, s.next = nil, 0
+	s.bytes.Store(0)
+}
+
+// metaSlab is nodeSlab for futMeta records.
+type metaSlab struct {
+	cur    *metaChunk
+	next   int
+	chunks []*metaChunk
+	bytes  atomic.Int64
+}
+
+func (s *metaSlab) get() *futMeta {
+	if s == nil {
+		return &futMeta{}
+	}
+	if s.cur == nil || s.next == metaChunkLen {
+		s.cur = metaChunkPool.Get().(*metaChunk)
+		s.chunks = append(s.chunks, s.cur)
+		s.next = 0
+		s.bytes.Add(int64(unsafe.Sizeof(metaChunk{})))
+	}
+	m := &s.cur.metas[s.next]
+	s.next++
+	*m = futMeta{}
+	return m
+}
+
+func (s *metaSlab) release() {
+	for i, c := range s.chunks {
+		s.chunks[i] = nil
+		metaChunkPool.Put(c)
+	}
+	s.chunks = s.chunks[:0]
+	s.cur, s.next = nil, 0
+	s.bytes.Store(0)
+}
+
+// laneAlloc is one lane's allocation state: arenas for OM items, node
+// and future records, and bitmap words. The engine guarantees a lane is
+// never used by two workers at once (sched.LaneTracer contract); the
+// shared fallback lane — used when the Reach is driven through a
+// MultiTracer or other non-lane path — is serialized by Reach.sharedMu.
+type laneAlloc struct {
+	items om.ItemArena
+	nodes nodeSlab
+	metas metaSlab
+	sets  bitset.Arena
+}
+
+func (a *laneAlloc) bytes() int64 {
+	return a.items.Bytes() + a.nodes.bytes.Load() + a.metas.bytes.Load() + a.sets.Bytes()
+}
+
+func (a *laneAlloc) release() {
+	a.items.Release()
+	a.nodes.release()
+	a.metas.release()
+	a.sets.Release()
+}

@@ -30,6 +30,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -50,38 +51,140 @@ type futMeta struct {
 	cp *bitset.Set // ancestor future IDs (immutable once built)
 }
 
+// Config carries the Reach ablation knobs. The zero value is the paper
+// configuration: fine-grained OM insert locking and per-worker arenas.
+type Config struct {
+	// GlobalOMLock forces both OM lists back onto the single list-level
+	// insert lock (the pre-fine-grained behavior; ABL8).
+	GlobalOMLock bool
+	// NoArena disables the slab arenas: every Item, node record, and
+	// bitmap allocates on the GC heap (ABL8).
+	NoArena bool
+	// AlwaysMerge disables the §3.4 subsumption optimization: every
+	// multi-parent strand allocates a fresh gp union (ABL2).
+	AlwaysMerge bool
+}
+
 // Reach is the SF-Order reachability component. It implements
-// sched.Tracer to maintain its structures online and serves Precedes
-// queries from any worker concurrently.
+// sched.Tracer (and sched.LaneTracer) to maintain its structures online
+// and serves Precedes queries from any worker concurrently.
 type Reach struct {
 	engL, hebL *om.List
+	cfg        Config
 
 	queries  atomic.Uint64 // Precedes calls (Figure 3 "queries")
 	gpMerges atomic.Uint64 // gp allocations from divergent merges
 	strands  atomic.Uint64
 
-	// alwaysMerge disables the §3.4 subsumption optimization: every
-	// multi-parent strand allocates a fresh gp union. Used only by the
-	// ABL2 ablation benchmark.
-	alwaysMerge bool
+	// lanes are the per-worker arenas, sized by SetLanes before the
+	// first event; a lane is only ever used by its worker (the
+	// sched.LaneTracer exclusivity contract), so lane state is unlocked.
+	// shared is the fallback arena for events arriving through the plain
+	// Tracer methods (Reach wrapped in a MultiTracer, direct test
+	// drivers); it is serialized by sharedMu. Both are nil with
+	// cfg.NoArena, in which case every allocation goes to the heap and
+	// the fallback path needs no lock at all. sharedMu also orders
+	// lanes-slice resizing against the stats gauges.
+	sharedMu sync.Mutex
+	lanes    []*laneAlloc
+	shared   *laneAlloc
 
 	// setMem tracks bytes allocated for gp/cp bitmaps (each allocation
 	// recorded once; sets are immutable afterwards).
 	setMem atomic.Int64
 }
 
-// NewReach returns an empty SF-Order reachability component, ready to be
-// passed as the Tracer of a sched.Run.
-func NewReach() *Reach {
-	return &Reach{engL: om.NewList(), hebL: om.NewList()}
+// New returns an empty SF-Order reachability component configured by
+// cfg, ready to be passed as the Tracer of a sched.Run.
+func New(cfg Config) *Reach {
+	newList := om.NewList
+	if cfg.GlobalOMLock {
+		newList = om.NewListGlobalLock
+	}
+	r := &Reach{engL: newList(), hebL: newList(), cfg: cfg}
+	if !cfg.NoArena {
+		r.shared = new(laneAlloc)
+	}
+	return r
 }
+
+// NewReach returns an empty SF-Order reachability component with the
+// default (paper) configuration.
+func NewReach() *Reach { return New(Config{}) }
 
 // NewReachAlwaysMerge returns a Reach with the copy-on-write gp merge
 // optimization disabled, for the ablation study.
-func NewReachAlwaysMerge() *Reach {
-	r := NewReach()
-	r.alwaysMerge = true
-	return r
+func NewReachAlwaysMerge() *Reach { return New(Config{AlwaysMerge: true}) }
+
+// SetLanes implements sched.LaneTracer: called by the engine before the
+// first event with the worker count, it sizes the per-worker arenas.
+func (r *Reach) SetLanes(n int) {
+	if r.cfg.NoArena {
+		return
+	}
+	r.sharedMu.Lock()
+	defer r.sharedMu.Unlock()
+	for len(r.lanes) < n {
+		r.lanes = append(r.lanes, new(laneAlloc))
+	}
+}
+
+// laneFor resolves a worker lane to its arena; out-of-range lanes (a
+// tracer driven outside a sched.Run) and NoArena mode yield nil, which
+// every arena falls back from to the heap.
+func (r *Reach) laneFor(lane int) *laneAlloc {
+	if lane >= 0 && lane < len(r.lanes) {
+		return r.lanes[lane]
+	}
+	return nil
+}
+
+// lockShared enters the fallback allocation critical section. With
+// NoArena there is no shared state to protect — allocation is on the
+// heap and list inserts synchronize internally — so no lock is taken.
+func (r *Reach) lockShared() *laneAlloc {
+	if r.cfg.NoArena {
+		return nil
+	}
+	r.sharedMu.Lock()
+	return r.shared
+}
+
+func (r *Reach) unlockShared() {
+	if !r.cfg.NoArena {
+		r.sharedMu.Unlock()
+	}
+}
+
+// Release returns every arena slab to the shared pools for reuse by a
+// later run. The Reach must not be used afterwards: node records, OM
+// items, and bitmaps alias recycled memory. The harness calls this
+// after a measurement's stats snapshot; callers that keep strand or
+// future pointers (race records with live dag references) must not.
+func (r *Reach) Release() {
+	r.sharedMu.Lock()
+	defer r.sharedMu.Unlock()
+	for _, a := range r.lanes {
+		a.release()
+	}
+	if r.shared != nil {
+		r.shared.release()
+	}
+}
+
+// ArenaBytes reports the slab bytes currently held across all lanes and
+// the shared fallback arena.
+func (r *Reach) ArenaBytes() int64 {
+	r.sharedMu.Lock()
+	defer r.sharedMu.Unlock()
+	var total int64
+	for _, a := range r.lanes {
+		total += a.bytes()
+	}
+	if r.shared != nil {
+		total += r.shared.bytes()
+	}
+	return total
 }
 
 func nodeOf(s *sched.Strand) *node { return s.Det.(*node) }
@@ -96,73 +199,202 @@ func (r *Reach) trackSet(s *bitset.Set) *bitset.Set {
 	return s
 }
 
-// OnRoot implements sched.Tracer.
+// OnRoot implements sched.Tracer. The root is a single event before any
+// parallelism, so it allocates from the shared arena.
 func (r *Reach) OnRoot(root *sched.Strand) {
 	r.strands.Add(1)
-	root.Det = &node{eng: r.engL.InsertFirst(), heb: r.hebL.InsertFirst()}
-	root.Fut.Det = &futMeta{cp: nil} // the root has no ancestors
+	a := r.lockShared()
+	var items *om.ItemArena
+	var nodes *nodeSlab
+	var metas *metaSlab
+	if a != nil {
+		items, nodes, metas = &a.items, &a.nodes, &a.metas
+	}
+	rn := nodes.get()
+	rn.eng, rn.heb = r.engL.InsertFirstArena(items), r.hebL.InsertFirstArena(items)
+	root.Det = rn
+	fm := metas.get()
+	fm.cp = nil // the root has no ancestors
+	root.Fut.Det = fm
+	r.unlockShared()
 }
 
 // placeBranch inserts the strands of a spawn/create event into both
 // order-maintenance lists: English order u, child, cont[, placeholder];
 // Hebrew order u, cont, child[, placeholder]. The eager placeholder
 // placement is what lets every later strand of the child's subdag land
-// inside the correct interval (§3.4 / WSP-Order).
-func (r *Reach) placeBranch(u, child, cont, placeholder *sched.Strand) {
+// inside the correct interval (§3.4 / WSP-Order). The two batch inserts
+// run back to back with nothing between them; each keeps its run
+// adjacent (see the om package comment), and no lock spans both lists —
+// English and Hebrew positions are independent.
+func (r *Reach) placeBranch(a *laneAlloc, u, child, cont, placeholder *sched.Strand) {
 	un := nodeOf(u)
 	n := 2
 	if placeholder != nil {
 		n = 3
 	}
 	r.strands.Add(uint64(n))
-	eng := r.engL.InsertAfterN(un.eng, n)
-	heb := r.hebL.InsertAfterN(un.heb, n)
+	var items *om.ItemArena
+	var nodes *nodeSlab
+	if a != nil {
+		items, nodes = &a.items, &a.nodes
+	}
+	var engBuf, hebBuf [3]*om.Item
+	eng, heb := engBuf[:n], hebBuf[:n]
+	r.engL.InsertAfterNArena(un.eng, items, eng)
+	r.hebL.InsertAfterNArena(un.heb, items, heb)
 
-	cn := &node{eng: eng[0], heb: heb[1], gp: un.gp}
-	kn := &node{eng: eng[1], heb: heb[0], gp: un.gp}
+	cn := nodes.get()
+	cn.eng, cn.heb, cn.gp = eng[0], heb[1], un.gp
+	kn := nodes.get()
+	kn.eng, kn.heb, kn.gp = eng[1], heb[0], un.gp
 	child.Det = cn
 	cont.Det = kn
 	if placeholder != nil {
-		placeholder.Det = &node{eng: eng[2], heb: heb[2]}
+		pn := nodes.get()
+		pn.eng, pn.heb = eng[2], heb[2]
+		placeholder.Det = pn
 	}
 }
 
-// OnSpawn implements sched.Tracer.
-func (r *Reach) OnSpawn(u, child, cont, placeholder *sched.Strand) {
-	r.placeBranch(u, child, cont, placeholder)
-}
-
-// OnCreate implements sched.Tracer. Besides the PSP placement (create is
-// a spawn in PSP(D)), it builds cp(G) = cp(F) ∪ {F} for the new future.
-func (r *Reach) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
-	r.placeBranch(u, first, cont, placeholder)
+// placeCreate is placeBranch plus the future bookkeeping: create is a
+// spawn in PSP(D), and cp(G) = cp(F) ∪ {F} for the new future.
+func (r *Reach) placeCreate(a *laneAlloc, u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	r.placeBranch(a, u, first, cont, placeholder)
 	parent := metaOf(f.Parent)
-	cp := parent.cp.Clone()
+	var sets *bitset.Arena
+	var metas *metaSlab
+	if a != nil {
+		sets, metas = &a.sets, &a.metas
+	}
+	// Sized to cover the parent's ID so the Add never grows off-arena.
+	cp := bitset.CloneIn(sets, parent.cp, f.Parent.ID+1)
 	cp.Add(f.Parent.ID)
-	f.Det = &futMeta{cp: r.trackSet(cp)}
+	fm := metas.get()
+	fm.cp = r.trackSet(cp)
+	f.Det = fm
 }
 
-// OnSync implements sched.Tracer: the sync strand s (pre-placed in the
-// OM lists) receives the merged gp of its real-dag predecessors — the
-// continuation k and the joined spawned children's sinks.
-func (r *Reach) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+// placeSync gives the sync strand s (pre-placed in the OM lists) the
+// merged gp of its real-dag predecessors — the continuation k and the
+// joined spawned children's sinks.
+func (r *Reach) placeSync(a *laneAlloc, k, s *sched.Strand, childSinks []*sched.Strand) {
+	var sets *bitset.Arena
+	if a != nil {
+		sets = &a.sets
+	}
 	sn := nodeOf(s)
 	acc := nodeOf(k).gp
 	for _, c := range childSinks {
-		acc = r.mergeGP(acc, nodeOf(c).gp)
+		acc = r.mergeGP(sets, acc, nodeOf(c).gp)
 	}
 	sn.gp = acc
 }
 
-func (r *Reach) mergeGP(a, b *bitset.Set) *bitset.Set {
-	if r.alwaysMerge {
+// placeGet places the get strand g as a plain serial successor of u in
+// PSP(D) (get edges are dropped) with gp(g) = gp(u) ∪ gp(last(F)) ∪ {F}.
+func (r *Reach) placeGet(a *laneAlloc, u, g *sched.Strand, f *sched.FutureTask) {
+	un := nodeOf(u)
+	r.strands.Add(1)
+	var items *om.ItemArena
+	var nodes *nodeSlab
+	var sets *bitset.Arena
+	if a != nil {
+		items, nodes, sets = &a.items, &a.nodes, &a.sets
+	}
+	gn := nodes.get()
+	var engBuf, hebBuf [1]*om.Item
+	r.engL.InsertAfterNArena(un.eng, items, engBuf[:])
+	r.hebL.InsertAfterNArena(un.heb, items, hebBuf[:])
+	gn.eng, gn.heb = engBuf[0], hebBuf[0]
+	last := nodeOf(f.Last())
+	gp := bitset.UnionIn(sets, un.gp, last.gp, f.ID+1)
+	gp.Add(f.ID)
+	r.gpMerges.Add(1)
+	gn.gp = r.trackSet(gp)
+	g.Det = gn
+}
+
+// PlaceSpawn performs the combined spawn placement — both OM batch
+// inserts and the node records — drawing memory from the given worker
+// lane's arenas. A negative lane selects the mutex-guarded shared
+// fallback arena; the engine's lane dispatch (sched.LaneTracer) calls
+// the non-negative form.
+func (r *Reach) PlaceSpawn(lane int, u, child, cont, placeholder *sched.Strand) {
+	if lane < 0 {
+		a := r.lockShared()
+		r.placeBranch(a, u, child, cont, placeholder)
+		r.unlockShared()
+		return
+	}
+	r.placeBranch(r.laneFor(lane), u, child, cont, placeholder)
+}
+
+// PlaceCreate is PlaceSpawn for create events (cp bookkeeping included).
+func (r *Reach) PlaceCreate(lane int, u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	if lane < 0 {
+		a := r.lockShared()
+		r.placeCreate(a, u, first, cont, placeholder, f)
+		r.unlockShared()
+		return
+	}
+	r.placeCreate(r.laneFor(lane), u, first, cont, placeholder, f)
+}
+
+// OnSpawn implements sched.Tracer (the non-lane fallback path).
+func (r *Reach) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	r.PlaceSpawn(-1, u, child, cont, placeholder)
+}
+
+// OnCreate implements sched.Tracer (the non-lane fallback path).
+func (r *Reach) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	r.PlaceCreate(-1, u, first, cont, placeholder, f)
+}
+
+// OnSync implements sched.Tracer (the non-lane fallback path).
+func (r *Reach) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+	a := r.lockShared()
+	r.placeSync(a, k, s, childSinks)
+	r.unlockShared()
+}
+
+// OnGet implements sched.Tracer (the non-lane fallback path).
+func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	a := r.lockShared()
+	r.placeGet(a, u, g, f)
+	r.unlockShared()
+}
+
+// OnSpawnLane implements sched.LaneTracer: as OnSpawn, allocating from
+// the worker's own arena without locking.
+func (r *Reach) OnSpawnLane(lane int, u, child, cont, placeholder *sched.Strand) {
+	r.placeBranch(r.laneFor(lane), u, child, cont, placeholder)
+}
+
+// OnCreateLane implements sched.LaneTracer.
+func (r *Reach) OnCreateLane(lane int, u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	r.placeCreate(r.laneFor(lane), u, first, cont, placeholder, f)
+}
+
+// OnSyncLane implements sched.LaneTracer.
+func (r *Reach) OnSyncLane(lane int, k, s *sched.Strand, childSinks []*sched.Strand) {
+	r.placeSync(r.laneFor(lane), k, s, childSinks)
+}
+
+// OnGetLane implements sched.LaneTracer.
+func (r *Reach) OnGetLane(lane int, u, g *sched.Strand, f *sched.FutureTask) {
+	r.placeGet(r.laneFor(lane), u, g, f)
+}
+
+func (r *Reach) mergeGP(sets *bitset.Arena, a, b *bitset.Set) *bitset.Set {
+	if r.cfg.AlwaysMerge {
 		if a == nil && b == nil {
 			return nil
 		}
 		r.gpMerges.Add(1)
-		return r.trackSet(bitset.Union(a, b))
+		return r.trackSet(bitset.UnionIn(sets, a, b, 0))
 	}
-	m, allocated := bitset.MergeShared(a, b)
+	m, allocated := bitset.MergeSharedIn(sets, a, b)
 	if allocated {
 		r.gpMerges.Add(1)
 		r.trackSet(m)
@@ -177,21 +409,6 @@ func (r *Reach) OnReturn(sink *sched.Strand) {}
 // OnPut implements sched.Tracer (no SF-Order work: last(F) is recorded
 // by the engine and consulted at OnGet).
 func (r *Reach) OnPut(sink *sched.Strand, f *sched.FutureTask) {}
-
-// OnGet implements sched.Tracer: the get strand g is a plain serial
-// successor of u in PSP(D) (get edges are dropped), and
-// gp(g) = gp(u) ∪ gp(last(F)) ∪ {F}.
-func (r *Reach) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
-	un := nodeOf(u)
-	r.strands.Add(1)
-	gn := &node{eng: r.engL.InsertAfter(un.eng), heb: r.hebL.InsertAfter(un.heb)}
-	last := nodeOf(f.Last())
-	gp := bitset.Union(un.gp, last.gp)
-	gp.Add(f.ID)
-	r.gpMerges.Add(1)
-	gn.gp = r.trackSet(gp)
-	g.Det = gn
-}
 
 // psp reports u ↠ v: u reaches v in the pseudo-SP-dag, i.e. u precedes v
 // in both the English and the Hebrew order.
@@ -252,8 +469,11 @@ func (r *Reach) MemBytes() int {
 		int(r.strands.Load())*nodeSize + int(r.setMem.Load())
 }
 
-// RegisterStats publishes the SF-Order counters (reach.*) and both OM
-// lists' maintenance counters (om.english.*, om.hebrew.*) on reg.
+// RegisterStats publishes the SF-Order counters (reach.*), both OM
+// lists' maintenance counters (om.english.*, om.hebrew.*), and the
+// cross-list locking/arena aggregates (om.lock_acquires,
+// om.bucket_locks, om.insert_contended, core.arena_bytes) on reg. Every
+// gauge reads atomics, so scraping never contends with a hot run.
 func (r *Reach) RegisterStats(reg *obsv.Registry) {
 	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
 	reg.RegisterFunc("reach.gp_merges", func() int64 { return int64(r.gpMerges.Load()) })
@@ -262,6 +482,19 @@ func (r *Reach) RegisterStats(reg *obsv.Registry) {
 	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
 	r.engL.RegisterStats(reg, "om.english")
 	r.hebL.RegisterStats(reg, "om.hebrew")
+	reg.RegisterFunc("om.lock_acquires", func() int64 {
+		return r.engL.LockAcquires() + r.hebL.LockAcquires()
+	})
+	reg.RegisterFunc("om.bucket_locks", func() int64 {
+		return r.engL.BucketLocks() + r.hebL.BucketLocks()
+	})
+	reg.RegisterFunc("om.insert_contended", func() int64 {
+		return r.engL.InsertContended() + r.hebL.InsertContended()
+	})
+	reg.RegisterFunc("core.arena_bytes", r.ArenaBytes)
 }
 
-var _ sched.Tracer = (*Reach)(nil)
+var (
+	_ sched.Tracer     = (*Reach)(nil)
+	_ sched.LaneTracer = (*Reach)(nil)
+)

@@ -100,6 +100,13 @@ type Config struct {
 	FastPath bool
 	// DedupByAddr keeps at most one detailed race record per address.
 	DedupByAddr bool
+	// OMGlobalLock forces SF-Order's order-maintenance lists back onto
+	// the single list-level insert lock instead of fine-grained bucket
+	// locking (ABL8).
+	OMGlobalLock bool
+	// NoArena disables SF-Order's per-worker slab arenas; dag-event
+	// records allocate on the GC heap (ABL8).
+	NoArena bool
 	// Backend selects the shadow-table layout for Full mode.
 	Backend detect.Backend
 	// Registry, when non-nil, is attached to the run: every component
@@ -146,11 +153,15 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 
 	var reach reachComponent
 	var leftOf func(a, b *sched.Strand) bool
+	var release func() // returns arena slabs after the measurement
 	if cfg.Mode != Base {
 		switch cfg.Detector {
 		case SFOrder:
-			sf := core.NewReach()
-			reach, leftOf = sf, sf.LeftOf
+			sf := core.New(core.Config{
+				GlobalOMLock: cfg.OMGlobalLock,
+				NoArena:      cfg.NoArena,
+			})
+			reach, leftOf, release = sf, sf.LeftOf, sf.Release
 		case FOrder:
 			reach = forder.NewReach()
 		case MultiBags:
@@ -203,6 +214,14 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 		} else {
 			opts.Checker = hist
 		}
+	}
+
+	if release != nil {
+		// The measurement keeps no strand pointers — Result carries only
+		// counts and the stats snapshot — so the arena slabs can go back
+		// to their pools for the next run. Runs after every return path,
+		// and after the Stats snapshot below.
+		defer release()
 	}
 
 	start := time.Now()

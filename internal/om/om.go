@@ -13,12 +13,37 @@
 // The original WSP-Order obtains amortized O(1) queries under parallel
 // execution through specialized work-stealing runtime support that
 // coordinates query/rebalance interleavings. This implementation obtains
-// the same interface guarantees with a seqlock: queries are lock-free
-// optimistic reads of atomic labels, retried on the (rare) relabelings;
-// inserts are serialized by a per-list mutex. Queries therefore stay
-// constant time in the common case while inserts — which happen once per
-// dag node, not once per memory access — pay the serialization. DESIGN.md
-// documents this substitution.
+// the same interface guarantees with a seqlock plus fine-grained bucket
+// locking:
+//
+//   - Queries (Precedes) are lock-free optimistic reads of atomic labels,
+//     retried on the (rare) relabelings — unchanged from the global-lock
+//     design, since queries never read bucket contents, only labels and
+//     the item→bucket pointer, all validated by the seqlock version.
+//   - Inserts lock only the target item's bucket. Two inserts into
+//     different buckets — distinct subtrees executing on distinct workers
+//     — proceed fully in parallel. After locking, the inserter re-checks
+//     the item's bucket pointer: items move between buckets only at a
+//     split, and always into a freshly allocated bucket, so observing a
+//     stale pointer is detectable (no ABA) and the insert retries.
+//   - Structural maintenance — bucket splits, bucket relabelings, and
+//     top-level renumberings — escalates to the list-level maintenance
+//     lock, which serializes maintenance against itself; individual
+//     bucket locks are acquired inside it (lock order: maintenance lock,
+//     then bucket locks) and the seqlock brackets every label rewrite
+//     exactly as before. Item→bucket moves happen only under the
+//     maintenance lock, which is what makes the escalated path's bucket
+//     resolution stable.
+//
+// A batch insert (InsertAfterN) keeps its run adjacent against every
+// concurrent insert anchored at a *different* item: the whole run is
+// placed under one bucket-lock critical section (or one maintenance-lock
+// section on escalation), and a concurrent insert after another anchor y
+// lands immediately after y, which is never strictly between the batch's
+// anchor and its first item. Concurrent inserts after the *same* anchor
+// are unordered relative to each other; the tracer discipline (each item
+// is extended only by the strand that owns it, and the engine orders
+// events per strand) means that never happens in practice.
 package om
 
 import (
@@ -33,7 +58,8 @@ import (
 
 const (
 	// bucketCap is the maximum number of items per bottom-level bucket
-	// before it splits.
+	// before it splits. Bucket item slices are allocated at this capacity
+	// up front so in-bucket inserts never pay append growth copies.
 	bucketCap = 64
 	// itemSpan is the spacing used when a bucket's items are relabeled
 	// evenly. bucketCap*itemSpan must not overflow uint64.
@@ -48,67 +74,94 @@ const (
 type Item struct {
 	bucket atomic.Pointer[bucket]
 	label  atomic.Uint64
+	slot   int32 // index within bucket.items; accessed under bucket.mu
 }
 
 type bucket struct {
 	label      atomic.Uint64
-	prev, next *bucket
-	items      []*Item // ordered by label; accessed only under List.mu
+	prev, next *bucket // top-level links; accessed under List.maint
+	mu         sync.Mutex
+	items      []*Item // ordered by label; accessed under mu (cap bucketCap)
+}
+
+func newBucket() *bucket {
+	return &bucket{items: make([]*Item, 0, bucketCap)}
 }
 
 // List is an order-maintenance list. The zero value is not usable; create
 // lists with NewList. Concurrent Precedes queries may run alongside
-// inserts; inserts are mutually serialized.
+// inserts; concurrent inserts into different buckets proceed in parallel.
 type List struct {
-	mu      sync.Mutex
+	// maint is the maintenance lock: it serializes bucket splits,
+	// relabelings, top-level renumberings, and any other structural
+	// change (item→bucket moves, top-level links). The common-case
+	// insert never takes it. Lock order: maint before bucket.mu.
+	maint   sync.Mutex
 	version atomic.Uint64 // seqlock: odd while labels are being rewritten
-	head    *bucket
-	tail    *bucket
-	size    int
+	head    *bucket       // accessed under maint
+	tail    *bucket       // accessed under maint
 
-	splits    int
-	relabels  int // bucket-internal relabelings
-	renumbers int // top-level renumberings (local or global)
+	size    atomic.Int64
+	buckets atomic.Int64
+
+	splits    atomic.Int64 // bucket splits
+	relabels  atomic.Int64 // bucket-internal relabelings
+	renumbers atomic.Int64 // top-level renumberings (local or global)
+
+	maintLocks  atomic.Int64 // insert-path maintenance-lock acquisitions
+	bucketLocks atomic.Int64 // fast-path bucket-lock acquisitions
+	contended   atomic.Int64 // fast-path retries + escalations
+
+	// global forces every insert through the maintenance lock — the
+	// pre-fine-grained behavior, kept for the ABL8 ablation.
+	global bool
 }
 
-// NewList returns an empty list.
+// NewList returns an empty list with fine-grained (per-bucket) insert
+// locking.
 func NewList() *List { return &List{} }
 
+// NewListGlobalLock returns an empty list whose inserts all serialize on
+// the single list-level lock — the behavior before fine-grained locking.
+// Used by the ABL8 ablation and A/B tests only.
+func NewListGlobalLock() *List { return &List{global: true} }
+
 // Len returns the number of items in the list.
-func (l *List) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.size
-}
+func (l *List) Len() int { return int(l.size.Load()) }
 
 // Stats returns maintenance counters: bucket splits, bucket-internal
 // relabelings, and top-level renumberings. Used by tests and the
-// experiment harness to confirm rebalancing stays rare.
+// experiment harness to confirm rebalancing stays rare. Lock-free.
 func (l *List) Stats() (splits, relabels, renumbers int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.splits, l.relabels, l.renumbers
+	return int(l.splits.Load()), int(l.relabels.Load()), int(l.renumbers.Load())
 }
 
-// RegisterStats publishes the list's maintenance counters, size, and
-// memory estimate on r under prefix (e.g. "om.english"). The gauges take
-// the insert lock when read, so snapshots are consistent but should not
-// be taken from a hot path.
+// LockAcquires returns the number of insert-path acquisitions of the
+// list-level maintenance lock: every insert in global mode, only
+// escalations (split/relabel/renumber and full or label-exhausted
+// buckets) in fine-grained mode. The ABL8 ablation pins the ratio.
+func (l *List) LockAcquires() int64 { return l.maintLocks.Load() }
+
+// BucketLocks returns the number of fast-path bucket-lock acquisitions.
+func (l *List) BucketLocks() int64 { return l.bucketLocks.Load() }
+
+// InsertContended returns how often the fast path lost a race (anchor
+// moved buckets mid-insert) or escalated to the maintenance lock.
+func (l *List) InsertContended() int64 { return l.contended.Load() }
+
+// RegisterStats publishes the list's maintenance counters, size, memory
+// estimate, and locking counters on r under prefix (e.g. "om.english").
+// Every gauge reads atomics only, so snapshots never contend with a hot
+// run.
 func (l *List) RegisterStats(r *obsv.Registry, prefix string) {
-	r.RegisterFunc(prefix+".splits", func() int64 {
-		s, _, _ := l.Stats()
-		return int64(s)
-	})
-	r.RegisterFunc(prefix+".relabels", func() int64 {
-		_, rl, _ := l.Stats()
-		return int64(rl)
-	})
-	r.RegisterFunc(prefix+".renumbers", func() int64 {
-		_, _, rn := l.Stats()
-		return int64(rn)
-	})
-	r.RegisterFunc(prefix+".items", func() int64 { return int64(l.Len()) })
+	r.RegisterFunc(prefix+".splits", func() int64 { return l.splits.Load() })
+	r.RegisterFunc(prefix+".relabels", func() int64 { return l.relabels.Load() })
+	r.RegisterFunc(prefix+".renumbers", func() int64 { return l.renumbers.Load() })
+	r.RegisterFunc(prefix+".items", func() int64 { return l.size.Load() })
 	r.RegisterFunc(prefix+".mem_bytes", func() int64 { return int64(l.MemBytes()) })
+	r.RegisterFunc(prefix+".lock_acquires", l.LockAcquires)
+	r.RegisterFunc(prefix+".bucket_locks", l.BucketLocks)
+	r.RegisterFunc(prefix+".insert_contended", l.InsertContended)
 }
 
 // itemSize and bucketSize are the real struct sizes, derived rather than
@@ -120,34 +173,37 @@ var (
 )
 
 // MemBytes estimates the heap footprint of the list (items + buckets) in
-// bytes, for the Figure 5 memory-accounting harness.
+// bytes, for the Figure 5 memory-accounting harness. Every bucket's item
+// slice is allocated at cap bucketCap, so the estimate is exact and
+// derived from atomics alone — safe to scrape mid-run.
 func (l *List) MemBytes() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	total := 0
-	for b := l.head; b != nil; b = b.next {
-		total += bucketSize + 8*cap(b.items)
-	}
-	return total + itemSize*l.size
+	return int(l.buckets.Load())*(bucketSize+8*bucketCap) + itemSize*int(l.size.Load())
 }
 
 // InsertFirst inserts an item at the head of an empty list and returns
 // it. It panics if the list is non-empty: all subsequent positions must be
 // created relative to existing ones so the total order is well defined.
-func (l *List) InsertFirst() *Item {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.size != 0 {
+func (l *List) InsertFirst() *Item { return l.InsertFirstArena(nil) }
+
+// InsertFirstArena is InsertFirst with the Item drawn from a (nil means
+// the heap).
+func (l *List) InsertFirstArena(a *ItemArena) *Item {
+	l.maintLocks.Add(1)
+	l.maint.Lock()
+	defer l.maint.Unlock()
+	if l.size.Load() != 0 {
 		panic("om: InsertFirst on non-empty list")
 	}
-	b := &bucket{}
+	b := newBucket()
 	b.label.Store(topSpace / 2)
 	l.head, l.tail = b, b
-	it := &Item{}
+	l.buckets.Store(1)
+	it := a.get()
 	it.label.Store(itemSpan)
 	it.bucket.Store(b)
+	it.slot = 0
 	b.items = append(b.items, it)
-	l.size = 1
+	l.size.Store(1)
 	return it
 }
 
@@ -160,42 +216,145 @@ func (l *List) InsertAfter(x *Item) *Item {
 // order returned (result[0] directly follows x). The batch form exists
 // because a spawn event must place the child strand, the continuation
 // strand, and possibly the sync placeholder in one step, with no other
-// insert landing between them.
+// insert landing between them (see the package comment for the exact
+// adjacency guarantee under concurrency).
 func (l *List) InsertAfterN(x *Item, n int) []*Item {
-	if n <= 0 {
-		panic("om: InsertAfterN with n <= 0")
-	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	out := make([]*Item, n)
-	prev := x
-	for i := range out {
-		out[i] = l.insertAfterLocked(prev)
-		prev = out[i]
-	}
+	l.InsertAfterNArena(x, nil, out)
 	return out
 }
 
-// insertAfterLocked inserts one item after x. Caller holds l.mu.
-func (l *List) insertAfterLocked(x *Item) *Item {
+// InsertAfterNArena is InsertAfterN with the new Items drawn from arena a
+// (nil means the heap) and returned through out, whose length is the
+// batch size. The caller-provided slice lets the hot path run without
+// allocating the result.
+func (l *List) InsertAfterNArena(x *Item, a *ItemArena, out []*Item) {
+	n := len(out)
+	if n <= 0 {
+		panic("om: InsertAfterN with n <= 0")
+	}
+	for i := range out {
+		out[i] = a.get()
+	}
+	if !l.global {
+		for {
+			r := l.tryInsertRun(x, out)
+			if r == runDone {
+				l.size.Add(int64(n))
+				return
+			}
+			if r == runEscalate {
+				break
+			}
+			// runRetry: x moved to a fresh bucket under a split; go again.
+		}
+		l.contended.Add(1)
+	}
+	l.maintLocks.Add(1)
+	l.maint.Lock()
+	prev := x
+	for i := range out {
+		l.placeAfterMaint(prev, out[i])
+		prev = out[i]
+	}
+	l.maint.Unlock()
+	l.size.Add(int64(n))
+}
+
+type runResult int
+
+const (
+	runDone runResult = iota
+	runRetry
+	runEscalate
+)
+
+// tryInsertRun is the fine-grained fast path: place the whole batch
+// immediately after x under x's bucket lock alone. It succeeds when the
+// bucket has room for the run and the label gap after x fits it; it
+// reports runRetry when x moved buckets between the unlocked load and
+// the lock (only a split moves items, always into a fresh bucket), and
+// runEscalate when the bucket needs maintenance first.
+//
+// The fast path touches no existing label and no bucket label, so it
+// does not bump the seqlock: a concurrent Precedes reads either a fully
+// published new item (bucket and label stored before the item becomes
+// reachable from the caller) or none of it.
+func (l *List) tryInsertRun(x *Item, out []*Item) runResult {
+	n := len(out)
 	b := x.bucket.Load()
-	idx := indexOf(b.items, x)
-	if idx < 0 {
-		panic("om: item not found in its bucket")
+	l.bucketLocks.Add(1)
+	b.mu.Lock()
+	if x.bucket.Load() != b {
+		b.mu.Unlock()
+		l.contended.Add(1)
+		return runRetry
 	}
-	if len(b.items) >= bucketCap {
-		b = l.split(b, &idx, x)
+	m := len(b.items)
+	if m+n > bucketCap {
+		b.mu.Unlock()
+		return runEscalate
 	}
-	// Compute a label strictly between x and its in-bucket successor.
+	idx := int(x.slot)
 	lo := x.label.Load()
 	hi := uint64(0) // exclusive sentinel meaning "top of label space"
+	if idx+1 < m {
+		hi = b.items[idx+1].label.Load()
+	}
+	// Pick n evenly spaced labels strictly inside (lo, hi).
+	var step uint64
+	if hi == 0 {
+		if lo <= ^uint64(0)-uint64(n)*itemSpan {
+			step = itemSpan // leave headroom by stepping full spans
+		} else {
+			hi = ^uint64(0)
+		}
+	}
+	if step == 0 {
+		gap := hi - lo
+		if gap < uint64(n)+1 {
+			b.mu.Unlock()
+			return runEscalate
+		}
+		step = gap / uint64(n+1)
+	}
+	// Shift the tail once, then place the run. cap(b.items) is bucketCap,
+	// so extending the slice never reallocates.
+	b.items = b.items[:m+n]
+	copy(b.items[idx+1+n:], b.items[idx+1:m])
+	for i := idx + 1 + n; i < m+n; i++ {
+		b.items[i].slot = int32(i)
+	}
+	lab := lo
+	for i, it := range out {
+		lab += step
+		it.label.Store(lab)
+		it.slot = int32(idx + 1 + i)
+		it.bucket.Store(b)
+		b.items[idx+1+i] = it
+	}
+	b.mu.Unlock()
+	return runDone
+}
+
+// placeAfterMaint inserts the pre-allocated item it directly after x,
+// splitting or relabeling x's bucket as needed. Caller holds l.maint,
+// which keeps x's bucket assignment stable and serializes maintenance.
+func (l *List) placeAfterMaint(x, it *Item) {
+	b := x.bucket.Load()
+	b.mu.Lock()
+	idx := int(x.slot)
+	if len(b.items) >= bucketCap {
+		b, idx = l.split(b, idx)
+	}
+	lo := x.label.Load()
+	hi := uint64(0)
 	if idx+1 < len(b.items) {
 		hi = b.items[idx+1].label.Load()
 	}
 	lab, ok := mid(lo, hi)
 	if !ok {
 		l.relabelBucket(b)
-		idx = indexOf(b.items, x)
 		lo = x.label.Load()
 		hi = 0
 		if idx+1 < len(b.items) {
@@ -206,14 +365,16 @@ func (l *List) insertAfterLocked(x *Item) *Item {
 			panic("om: no label room after bucket relabel")
 		}
 	}
-	it := &Item{}
 	it.label.Store(lab)
 	it.bucket.Store(b)
-	b.items = append(b.items, nil)
-	copy(b.items[idx+2:], b.items[idx+1:])
+	m := len(b.items)
+	b.items = b.items[:m+1]
+	copy(b.items[idx+2:], b.items[idx+1:m])
 	b.items[idx+1] = it
-	l.size++
-	return it
+	for i := idx + 1; i <= m; i++ {
+		b.items[i].slot = int32(i)
+	}
+	b.mu.Unlock()
 }
 
 // mid returns a label strictly between lo and hi (hi==0 means the top of
@@ -232,32 +393,34 @@ func mid(lo, hi uint64) (uint64, bool) {
 	return lo + (hi-lo)/2, true
 }
 
-func indexOf(items []*Item, x *Item) int {
-	for i, it := range items {
-		if it == x {
-			return i
-		}
-	}
-	return -1
-}
-
 // split divides bucket b in two, keeping the first half in b and moving
 // the rest to a fresh bucket placed immediately after b in the top-level
-// order. idx is updated (and the containing bucket returned) so that item
-// x remains addressable by the caller.
-func (l *List) split(b *bucket, idx *int, x *Item) *bucket {
-	l.splits++
-	nb := &bucket{prev: b, next: b.next}
+// order. Caller holds l.maint and b.mu, and addresses position idx in b;
+// split returns the bucket now holding that position, with its lock held
+// (the other half's lock released). The label rewrite — including the
+// item→bucket moves — happens inside the seqlock write section, exactly
+// as in the global-lock design, so concurrent Precedes reads retry
+// rather than observe a half-moved item.
+func (l *List) split(b *bucket, idx int) (*bucket, int) {
+	l.splits.Add(1)
+	nb := newBucket()
+	nb.mu.Lock()
+	nb.prev, nb.next = b, b.next
 	if b.next != nil {
 		b.next.prev = nb
 	} else {
 		l.tail = nb
 	}
 	b.next = nb
+	l.buckets.Add(1)
 
 	l.beginWrite()
 	half := len(b.items) / 2
-	nb.items = append(nb.items, b.items[half:]...)
+	nb.items = nb.items[:len(b.items)-half]
+	copy(nb.items, b.items[half:])
+	for i := half; i < len(b.items); i++ {
+		b.items[i] = nil // release the moved items' old slots
+	}
 	b.items = b.items[:half]
 	l.assignTopLabel(nb)
 	relabelItems(b)
@@ -267,17 +430,18 @@ func (l *List) split(b *bucket, idx *int, x *Item) *bucket {
 	}
 	l.endWrite()
 
-	if *idx >= half {
-		*idx -= half
-		return nb
+	if idx >= half {
+		b.mu.Unlock()
+		return nb, idx - half
 	}
-	_ = x
-	return b
+	nb.mu.Unlock()
+	return b, idx
 }
 
-// relabelBucket rewrites all item labels in b with even spacing.
+// relabelBucket rewrites all item labels in b with even spacing. Caller
+// holds l.maint and b.mu.
 func (l *List) relabelBucket(b *bucket) {
-	l.relabels++
+	l.relabels.Add(1)
 	l.beginWrite()
 	relabelItems(b)
 	l.endWrite()
@@ -286,13 +450,15 @@ func (l *List) relabelBucket(b *bucket) {
 func relabelItems(b *bucket) {
 	for i, it := range b.items {
 		it.label.Store(uint64(i+1) * itemSpan)
+		it.slot = int32(i)
 	}
 }
 
 // assignTopLabel gives nb (already linked after nb.prev) a top-level
 // label strictly between its neighbours, renumbering a region of the
-// top-level order when the local gap is exhausted. Caller holds l.mu and
-// has already called beginWrite.
+// top-level order when the local gap is exhausted. Caller holds l.maint
+// and has already called beginWrite. Inserters never read bucket labels,
+// so no bucket locks are needed beyond the split's own.
 func (l *List) assignTopLabel(nb *bucket) {
 	lo := nb.prev.label.Load()
 	hi := topSpace
@@ -321,7 +487,7 @@ func (l *List) assignTopLabel(nb *bucket) {
 // buckets in that range evenly across it. Falls back to a global
 // renumbering across the whole label space.
 func (l *List) renumberAround(pivot *bucket) {
-	l.renumbers++
+	l.renumbers.Add(1)
 	p := pivot.label.Load()
 	for j := uint(2); j < 62; j++ {
 		width := uint64(1) << j
@@ -419,52 +585,75 @@ func (l *List) Compare(a, b *Item) int {
 }
 
 // Order returns the items in list order. It is intended for tests and
-// debugging; it takes the insert lock.
+// debugging on quiescent lists; it takes the maintenance lock and each
+// bucket lock in turn.
 func (l *List) Order() []*Item {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]*Item, 0, l.size)
+	l.maint.Lock()
+	defer l.maint.Unlock()
+	out := make([]*Item, 0, l.size.Load())
 	for b := l.head; b != nil; b = b.next {
+		b.mu.Lock()
 		out = append(out, b.items...)
+		b.mu.Unlock()
 	}
 	return out
 }
 
 // checkInvariants validates internal consistency (monotone labels, item
-// bucket pointers, size accounting). Exposed through an exported wrapper
-// in export_test.go for white-box tests.
+// bucket pointers and slots, size accounting). Exposed through an
+// exported wrapper in export_test.go for white-box tests; call on a
+// quiescent list.
 func (l *List) checkInvariants() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.maint.Lock()
+	defer l.maint.Unlock()
 	n := 0
+	nb := int64(0)
 	var prevTop uint64
 	firstBucket := true
 	for b := l.head; b != nil; b = b.next {
-		if !firstBucket && b.label.Load() <= prevTop {
-			return fmt.Errorf("om: bucket labels not increasing (%d after %d)", b.label.Load(), prevTop)
-		}
-		prevTop = b.label.Load()
-		firstBucket = false
-		if len(b.items) == 0 && l.size > 0 && l.head != l.tail {
-			return fmt.Errorf("om: empty bucket in multi-bucket list")
-		}
-		var prevItem uint64
-		for i, it := range b.items {
-			if it.bucket.Load() != b {
-				return fmt.Errorf("om: item bucket pointer stale")
+		b.mu.Lock()
+		err := func() error {
+			if !firstBucket && b.label.Load() <= prevTop {
+				return fmt.Errorf("om: bucket labels not increasing (%d after %d)", b.label.Load(), prevTop)
 			}
-			if i > 0 && it.label.Load() <= prevItem {
-				return fmt.Errorf("om: item labels not increasing (%d after %d)", it.label.Load(), prevItem)
+			prevTop = b.label.Load()
+			firstBucket = false
+			if cap(b.items) != bucketCap {
+				return fmt.Errorf("om: bucket items cap %d, want %d", cap(b.items), bucketCap)
 			}
-			prevItem = it.label.Load()
-			n++
+			if len(b.items) == 0 && l.size.Load() > 0 && l.head != l.tail {
+				return fmt.Errorf("om: empty bucket in multi-bucket list")
+			}
+			var prevItem uint64
+			for i, it := range b.items {
+				if it.bucket.Load() != b {
+					return fmt.Errorf("om: item bucket pointer stale")
+				}
+				if int(it.slot) != i {
+					return fmt.Errorf("om: item slot %d at index %d", it.slot, i)
+				}
+				if i > 0 && it.label.Load() <= prevItem {
+					return fmt.Errorf("om: item labels not increasing (%d after %d)", it.label.Load(), prevItem)
+				}
+				prevItem = it.label.Load()
+				n++
+			}
+			if b.next == nil && b != l.tail {
+				return fmt.Errorf("om: tail pointer stale")
+			}
+			return nil
+		}()
+		b.mu.Unlock()
+		if err != nil {
+			return err
 		}
-		if b.next == nil && b != l.tail {
-			return fmt.Errorf("om: tail pointer stale")
-		}
+		nb++
 	}
-	if n != l.size {
-		return fmt.Errorf("om: size %d but found %d items", l.size, n)
+	if int64(n) != l.size.Load() {
+		return fmt.Errorf("om: size %d but found %d items", l.size.Load(), n)
+	}
+	if nb != l.buckets.Load() {
+		return fmt.Errorf("om: bucket count %d but found %d buckets", l.buckets.Load(), nb)
 	}
 	return nil
 }

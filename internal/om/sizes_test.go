@@ -22,10 +22,12 @@ func TestAccountingSizes(t *testing.T) {
 	if unsafe.Sizeof(uintptr(0)) != 8 {
 		t.Skip("expected values below are for 64-bit platforms")
 	}
-	if itemSize != 16 {
-		t.Errorf("Item grew: %d bytes, expected 16", itemSize)
+	// Item: bucket pointer (8) + label (8) + slot (4, padded to 8).
+	if itemSize != 24 {
+		t.Errorf("Item grew: %d bytes, expected 24", itemSize)
 	}
-	if bucketSize != 48 {
-		t.Errorf("bucket grew: %d bytes, expected 48", bucketSize)
+	// bucket: label (8) + prev/next (16) + mutex (8) + slice header (24).
+	if bucketSize != 56 {
+		t.Errorf("bucket grew: %d bytes, expected 56", bucketSize)
 	}
 }

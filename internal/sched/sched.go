@@ -129,6 +129,28 @@ type Tracer interface {
 	OnGet(u, g *Strand, f *FutureTask)
 }
 
+// LaneTracer is optionally implemented by a Tracer that keeps
+// per-worker state, such as the allocation arenas of SF-Order. When
+// Options.Tracer itself implements it (a Tracer buried inside a
+// MultiTracer is not detected and falls back to the plain methods), the
+// engine calls SetLanes once, before OnRoot, with the number of lanes —
+// the worker count, or 1 for the serial executor — and then routes the
+// allocating dag events (spawn, create, sync, get) through the *Lane
+// variants, passing the executing worker's lane index.
+//
+// Lane exclusivity: the engine never issues two events for the same
+// lane concurrently, because a lane is a worker and each worker runs
+// one strand at a time; the lane's state therefore needs no locking.
+// The non-lane events (OnRoot, OnReturn, OnPut) keep their plain forms.
+type LaneTracer interface {
+	Tracer
+	SetLanes(n int)
+	OnSpawnLane(lane int, u, child, cont, placeholder *Strand)
+	OnCreateLane(lane int, u, first, cont, placeholder *Strand, f *FutureTask)
+	OnSyncLane(lane int, k, s *Strand, childSinks []*Strand)
+	OnGetLane(lane int, u, g *Strand, f *FutureTask)
+}
+
 // AccessChecker observes instrumented memory accesses (the full race
 // detection configuration).
 type AccessChecker interface {
@@ -248,12 +270,14 @@ var ErrAborted = errors.New("sched: execution aborted")
 type errAbortUnwind struct{}
 
 type engine struct {
-	opts    Options
-	tracer  Tracer
-	checker AccessChecker
-	closer  StrandCloser      // non-nil when the checker wants strand-close hooks
-	check   bool              // Options.CheckStructure, hoisted for the hot paths
-	trace   *obsv.TraceWriter // Options.Trace, consulted for steal instants
+	opts       Options
+	tracer     Tracer
+	laneTracer LaneTracer // non-nil when opts.Tracer wants lane routing
+	auxTracer  Tracer     // trace adapter, fed alongside laneTracer
+	checker    AccessChecker
+	closer     StrandCloser      // non-nil when the checker wants strand-close hooks
+	check      bool              // Options.CheckStructure, hoisted for the hot paths
+	trace      *obsv.TraceWriter // Options.Trace, consulted for steal instants
 
 	strandID atomic.Uint64
 	futureID atomic.Int64
@@ -283,8 +307,23 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 	if c, ok := opts.Checker.(StrandCloser); ok {
 		e.closer = c
 	}
+	// The worker count is resolved before OnRoot so a LaneTracer learns
+	// its lane count before the first event.
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if lt, ok := opts.Tracer.(LaneTracer); ok {
+		e.laneTracer = lt
+		lanes := w
+		if opts.Serial {
+			lanes = 1
+		}
+		lt.SetLanes(lanes)
+	}
 	if opts.Trace != nil {
 		tt := &traceTracer{tw: opts.Trace}
+		e.auxTracer = tt
 		if e.tracer != nil {
 			e.tracer = MultiTracer{e.tracer, tt}
 		} else {
@@ -316,10 +355,6 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 		return e.countsSnapshot(), nil
 	}
 
-	w := opts.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
 	for i := 0; i < w; i++ {
 		e.workers = append(e.workers, &worker{eng: e, id: i, rng: rand.New(rand.NewSource(int64(i + 1)))})
 	}
@@ -382,6 +417,61 @@ func (e *engine) newFuture(parent *FutureTask) *FutureTask {
 		ID:     int(e.futureID.Add(1) - 1),
 		Parent: parent,
 		done:   make(chan struct{}),
+	}
+}
+
+// emitSpawn routes OnSpawn either through the lane-aware tracer (plus
+// the trace adapter, which is outside the MultiTracer in that case) or
+// through the plain tracer chain. emitCreate/emitSync/emitGet mirror it.
+func (e *engine) emitSpawn(lane int, u, child, cont, placeholder *Strand) {
+	if lt := e.laneTracer; lt != nil {
+		lt.OnSpawnLane(lane, u, child, cont, placeholder)
+		if e.auxTracer != nil {
+			e.auxTracer.OnSpawn(u, child, cont, placeholder)
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.OnSpawn(u, child, cont, placeholder)
+	}
+}
+
+func (e *engine) emitCreate(lane int, u, first, cont, placeholder *Strand, f *FutureTask) {
+	if lt := e.laneTracer; lt != nil {
+		lt.OnCreateLane(lane, u, first, cont, placeholder, f)
+		if e.auxTracer != nil {
+			e.auxTracer.OnCreate(u, first, cont, placeholder, f)
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.OnCreate(u, first, cont, placeholder, f)
+	}
+}
+
+func (e *engine) emitSync(lane int, k, s *Strand, childSinks []*Strand) {
+	if lt := e.laneTracer; lt != nil {
+		lt.OnSyncLane(lane, k, s, childSinks)
+		if e.auxTracer != nil {
+			e.auxTracer.OnSync(k, s, childSinks)
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.OnSync(k, s, childSinks)
+	}
+}
+
+func (e *engine) emitGet(lane int, u, g *Strand, f *FutureTask) {
+	if lt := e.laneTracer; lt != nil {
+		lt.OnGetLane(lane, u, g, f)
+		if e.auxTracer != nil {
+			e.auxTracer.OnGet(u, g, f)
+		}
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.OnGet(u, g, f)
 	}
 }
 

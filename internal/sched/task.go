@@ -33,6 +33,15 @@ type Task struct {
 	horizon int64
 }
 
+// laneID is the dense per-worker index handed to lane-aware tracers;
+// the serial executor is lane 0.
+func (t *Task) laneID() int {
+	if t.worker != nil {
+		return t.worker.id
+	}
+	return 0
+}
+
 // Label tags the current strand and all later strands of this function
 // instance (until relabeled) with a human-readable name that race
 // reports include. Child instances start unlabeled.
@@ -76,9 +85,7 @@ func (t *Task) Spawn(fn func(*Task)) {
 	child := e.newStrand(t.fut)
 	cont := e.newStrand(t.fut)
 	cont.setLabel(t.label)
-	if e.tracer != nil {
-		e.tracer.OnSpawn(u, child, cont, placeholder)
-	}
+	e.emitSpawn(t.laneID(), u, child, cont, placeholder)
 	j := &job{task: &Task{
 		eng:         e,
 		fut:         t.fut,
@@ -138,9 +145,7 @@ func (t *Task) closeRegion(b *syncBlock) {
 	s := b.placeholder
 	s.setLabel(t.label)
 	e.cSyncs.Add(1)
-	if e.tracer != nil {
-		e.tracer.OnSync(k, s, b.childSinks)
-	}
+	e.emitSync(t.laneID(), k, s, b.childSinks)
 	t.frame.block = nil
 	t.cur = s
 	if e.check {
@@ -210,9 +215,7 @@ func (t *Task) Create(fn func(*Task) any) *Future {
 	first := e.newStrand(ft)
 	cont := e.newStrand(t.fut)
 	cont.setLabel(t.label)
-	if e.tracer != nil {
-		e.tracer.OnCreate(u, first, cont, placeholder, ft)
-	}
+	e.emitCreate(t.laneID(), u, first, cont, placeholder, ft)
 	j := &job{task: &Task{
 		eng:          e,
 		fut:          ft,
@@ -277,9 +280,7 @@ func (t *Task) Get(f *Future) any {
 	u := t.cur
 	g := e.newStrand(t.fut)
 	g.setLabel(t.label)
-	if e.tracer != nil {
-		e.tracer.OnGet(u, g, ft)
-	}
+	e.emitGet(t.laneID(), u, g, ft)
 	t.cur = g
 	return ft.value
 }
