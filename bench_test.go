@@ -9,6 +9,7 @@
 //	BenchmarkAblationBitmapVsHash — ABL3: SF-Order bitmaps vs F-Order tables, reach only
 //	BenchmarkAblationFastPath     — ABL7: lock-avoiding access history on vs off
 //	BenchmarkAblationOMLock       — ABL8: fine-grained vs global OM locking × arenas vs heap
+//	BenchmarkAblationDeque        — ABL9: lock-free Chase–Lev scheduler vs mutex deque
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -343,6 +344,49 @@ func BenchmarkAblationOMLock(b *testing.B) {
 				b.ReportMetric(float64(res.Stats["om.bucket_locks"]), "om-bucket-locks")
 				b.ReportMetric(float64(res.Stats["core.arena_bytes"]), "arena-bytes")
 			})
+		}
+	}
+}
+
+// BenchmarkAblationDeque (ABL9): the scheduler itself — lock-free
+// Chase–Lev deques with parking idle workers against the historical
+// mutex deque with the spin loop — on mm, hw, and sort in reach and
+// full mode at 1, 2, and 4 workers. deque-lock-acquires is the
+// acceptance quantity: ~0 for the lock-free scheduler, one per
+// push/pop/steal for the ablation.
+func BenchmarkAblationDeque(b *testing.B) {
+	benches := []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.HW(4, 16, 256),
+		workload.Sort(20_000, 512),
+	}
+	for _, bench := range benches {
+		bench := bench
+		for _, mode := range []harness.Mode{harness.Reach, harness.Full} {
+			mode := mode
+			for _, workers := range []int{1, 2, 4} {
+				workers := workers
+				for _, v := range []struct {
+					name      string
+					lockDeque bool
+				}{
+					{"chaselev", false},
+					{"lockdeque", true},
+				} {
+					v := v
+					name := fmt.Sprintf("%s/%s/w%d/%s", bench.Name, mode, workers, v.name)
+					b.Run(name, func(b *testing.B) {
+						res := measure(b, bench, harness.Config{
+							Detector: harness.SFOrder, Mode: mode, Workers: workers,
+							FastPath: mode == harness.Full, LockDeque: v.lockDeque,
+							Registry: obsv.NewRegistry(),
+						})
+						b.ReportMetric(float64(res.Stats["sched.lock_acquires"]), "deque-lock-acquires")
+						b.ReportMetric(float64(res.Stats["sched.steals"]), "steals")
+						b.ReportMetric(float64(res.Stats["sched.parks"]), "parks")
+					})
+				}
+			}
 		}
 	}
 }

@@ -31,22 +31,23 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "", "table to regenerate: fig3, fig4, fig5, abl")
-		scale    = flag.String("scale", "bench", "input scale: test, bench, large")
-		workers  = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
-		repeats  = flag.Int("repeats", 1, "best-of-N timing repeats")
-		bench    = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret")
-		detector = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
-		mode     = flag.String("mode", "full", "mode for -bench: base, reach, full")
-		policy   = flag.String("policy", "all", "reader policy for full mode: all, lr")
-		jsonOut  = flag.Bool("json", false, "emit the table as JSON instead of text")
-		stats    = flag.Bool("stats", false, "with -bench: print the stats-registry snapshot after the run")
-		traceOut = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
-		httpAddr = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
-		dedup    = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
-		fastpath = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
-		omglobal = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
-		noarena  = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
+		table     = flag.String("table", "", "table to regenerate: fig3, fig4, fig5, abl")
+		scale     = flag.String("scale", "bench", "input scale: test, bench, large")
+		workers   = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
+		repeats   = flag.Int("repeats", 1, "best-of-N timing repeats")
+		bench     = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret")
+		detector  = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
+		mode      = flag.String("mode", "full", "mode for -bench: base, reach, full")
+		policy    = flag.String("policy", "all", "reader policy for full mode: all, lr")
+		jsonOut   = flag.Bool("json", false, "emit the table as JSON instead of text")
+		stats     = flag.Bool("stats", false, "with -bench: print the stats-registry snapshot after the run")
+		traceOut  = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
+		httpAddr  = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
+		dedup     = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
+		fastpath  = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
+		omglobal  = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
+		noarena   = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
+		lockdeque = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
 	)
 	flag.Parse()
 
@@ -79,14 +80,15 @@ func main() {
 		runTable(*table, benches, *workers, *repeats, *scale, *jsonOut)
 	case *bench != "":
 		runOne(*bench, sc, *detector, *mode, *policy, *workers, oneOpts{
-			reg:      reg,
-			stats:    *stats,
-			traceOut: *traceOut,
-			dedup:    *dedup,
-			fastpath: *fastpath,
-			omglobal: *omglobal,
-			noarena:  *noarena,
-			block:    *httpAddr != "",
+			reg:       reg,
+			stats:     *stats,
+			traceOut:  *traceOut,
+			dedup:     *dedup,
+			fastpath:  *fastpath,
+			omglobal:  *omglobal,
+			noarena:   *noarena,
+			lockdeque: *lockdeque,
+			block:     *httpAddr != "",
 		})
 	default:
 		flag.Usage()
@@ -96,14 +98,15 @@ func main() {
 
 // oneOpts carries the observability knobs of a -bench run.
 type oneOpts struct {
-	reg      *obsv.Registry
-	stats    bool
-	traceOut string
-	dedup    bool
-	fastpath bool
-	omglobal bool
-	noarena  bool
-	block    bool // keep serving -http after the run completes
+	reg       *obsv.Registry
+	stats     bool
+	traceOut  string
+	dedup     bool
+	fastpath  bool
+	omglobal  bool
+	noarena   bool
+	lockdeque bool
+	block     bool // keep serving -http after the run completes
 }
 
 func runTable(table string, benches []*workload.Benchmark, workers, repeats int, scale string, jsonOut bool) {
@@ -197,6 +200,7 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 		FastPath:     obs.fastpath,
 		OMGlobalLock: obs.omglobal,
 		NoArena:      obs.noarena,
+		LockDeque:    obs.lockdeque,
 		Registry:     obs.reg,
 	}
 	var traceFile *os.File

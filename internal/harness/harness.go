@@ -107,6 +107,9 @@ type Config struct {
 	// NoArena disables SF-Order's per-worker slab arenas; dag-event
 	// records allocate on the GC heap (ABL8).
 	NoArena bool
+	// LockDeque selects the scheduler's historical mutex-guarded deque
+	// instead of the lock-free Chase–Lev deque (ABL9).
+	LockDeque bool
 	// Backend selects the shadow-table layout for Full mode.
 	Backend detect.Backend
 	// Registry, when non-nil, is attached to the run: every component
@@ -176,6 +179,7 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 		Serial:        cfg.Serial,
 		Workers:       cfg.Workers,
 		CountAccesses: cfg.CountAccesses,
+		LockDeque:     cfg.LockDeque,
 		Stats:         cfg.Registry,
 		Trace:         cfg.Trace,
 	}

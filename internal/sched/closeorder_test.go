@@ -1,0 +1,72 @@
+package sched_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sforder/internal/sched"
+)
+
+// closeRecorder is a StrandCloser-implementing checker that records
+// which strands have been closed.
+type closeRecorder struct {
+	closed sync.Map // strand ID -> struct{}
+}
+
+func (c *closeRecorder) Read(s *sched.Strand, addr uint64)  {}
+func (c *closeRecorder) Write(s *sched.Strand, addr uint64) {}
+func (c *closeRecorder) StrandClose(s *sched.Strand)        { c.closed.Store(s.ID, struct{}{}) }
+
+// TestStrandCloseHappensBeforeSuccessors pins the StrandCloser contract
+// across the lock-free deque hand-off: the strand ended by a spawn,
+// create, sync, or get is closed (its deferred detector work flushed)
+// before any dag-successor strand executes — on whichever worker the
+// successor lands. The memory-ordering half of the argument is the
+// deque's atomic publication (push stores the slot then bottom; pop and
+// steal load them before touching the job); the program-order half is
+// that closeStrand precedes the push at every call site.
+func TestStrandCloseHappensBeforeSuccessors(t *testing.T) {
+	rec := &closeRecorder{}
+	var violations atomic.Int64
+	check := func(u *sched.Strand) {
+		if _, ok := rec.closed.Load(u.ID); !ok {
+			violations.Add(1)
+		}
+	}
+	var nest func(tk *sched.Task, depth int)
+	nest = func(tk *sched.Task, depth int) {
+		if depth == 0 {
+			return
+		}
+		u1 := tk.Strand() // ends at the Spawn below
+		tk.Spawn(func(c *sched.Task) {
+			check(u1) // child's first strand is a successor of u1
+			nest(c, depth-1)
+		})
+		check(u1)         // as is the spawner's continuation
+		u2 := tk.Strand() // ends at the Create below
+		f := tk.Create(func(c *sched.Task) any {
+			check(u2) // future's first strand is a successor of u2
+			nest(c, depth-1)
+			return nil
+		})
+		check(u2)         // as is the creator's continuation
+		u3 := tk.Strand() // ends at the Get below
+		_ = tk.Get(f)
+		check(u3)
+		check(f.Task().Last()) // the put strand precedes the get strand
+		u4 := tk.Strand()      // ends at the Sync below
+		tk.Sync()
+		check(u4)
+	}
+	_, err := sched.Run(sched.Options{Workers: 4, Checker: rec}, func(root *sched.Task) {
+		nest(root, 6)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d successor strands began before their predecessor closed", v)
+	}
+}

@@ -2,15 +2,24 @@ package sched
 
 // Test-only exports for whitebox tests of the scheduler internals.
 
-// NewTestWorkerPair returns two workers of a throwaway engine, for
-// exercising deque push/pop/steal mechanics directly.
-func NewTestWorkerPair() (*worker, *worker) {
-	e := &engine{abortCh: make(chan struct{})}
-	w1 := &worker{eng: e, id: 0}
-	w2 := &worker{eng: e, id: 1}
+func newTestWorkers(lockDeque bool) (*worker, *worker) {
+	e := &engine{abortCh: make(chan struct{}), lockDeque: lockDeque}
+	w1 := &worker{eng: e, id: 0, lastVictim: -1, parkSig: make(chan struct{}, 1)}
+	w2 := &worker{eng: e, id: 1, lastVictim: -1, parkSig: make(chan struct{}, 1)}
+	w1.cl.init()
+	w2.cl.init()
 	e.workers = []*worker{w1, w2}
 	return w1, w2
 }
+
+// NewTestWorkerPair returns two workers of a throwaway engine using the
+// default lock-free Chase–Lev deques, for exercising push/pop/steal
+// mechanics directly.
+func NewTestWorkerPair() (*worker, *worker) { return newTestWorkers(false) }
+
+// NewTestWorkerPairLocked is NewTestWorkerPair with the mutex-deque
+// ablation selected, so deque tests cover both representations.
+func NewTestWorkerPairLocked() (*worker, *worker) { return newTestWorkers(true) }
 
 // NewTestJob returns a claimable no-op job.
 func NewTestJob() *job { return &job{} }
@@ -29,7 +38,11 @@ func (j *job) Take() bool { return j.take() }
 
 // DequeLen reports the current deque length.
 func (w *worker) DequeLen() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.deque)
+	if w.eng.lockDeque {
+		return int(w.slen.Load())
+	}
+	return int(w.cl.size())
 }
+
+// DequeBytes exposes worker.dequeBytes.
+func (w *worker) DequeBytes() int64 { return w.dequeBytes() }

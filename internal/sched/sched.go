@@ -40,7 +40,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
+	"unsafe"
 
 	"sforder/internal/obsv"
 )
@@ -225,6 +225,12 @@ type Options struct {
 	// characterization runs). Off by default so baseline timing runs pay
 	// no per-access atomic cost.
 	CountAccesses bool
+	// LockDeque selects the historical mutex-guarded deque instead of
+	// the lock-free Chase–Lev deque, for ablation (ABL9): every
+	// push/pop/steal then takes the worker's lock, counted by the
+	// sched.lock_acquires gauge. The idle park/wake protocol is
+	// unchanged — only the deque representation differs.
+	LockDeque bool
 	// CheckStructure enables the on-the-fly structured-futures checker:
 	// every Create and Get additionally verifies the SF restrictions
 	// (paper §2) in O(1) per operation — single-touch with full
@@ -277,15 +283,18 @@ type engine struct {
 	checker    AccessChecker
 	closer     StrandCloser      // non-nil when the checker wants strand-close hooks
 	check      bool              // Options.CheckStructure, hoisted for the hot paths
+	lockDeque  bool              // Options.LockDeque, hoisted for the hot paths
 	trace      *obsv.TraceWriter // Options.Trace, consulted for steal instants
 
 	strandID atomic.Uint64
 	futureID atomic.Int64
 
 	cStrands, cFutures, cSpawns, cSyncs, cGets, cReads, cWrites, cSteals atomic.Uint64
+	cStealFails, cParks, cWakes, cDequeGrows, cLockAcquires              atomic.Uint64
 
-	workers []*worker
-	pending atomic.Int64 // unfinished jobs
+	workers     []*worker
+	pending     atomic.Int64 // unfinished jobs
+	parkedCount atomic.Int64 // workers currently parked (or committing to park)
 
 	abortOnce sync.Once
 	abortCh   chan struct{}
@@ -297,12 +306,13 @@ type engine struct {
 // serial mode panics propagate to the caller.
 func Run(opts Options, main func(*Task)) (Counts, error) {
 	e := &engine{
-		opts:    opts,
-		tracer:  opts.Tracer,
-		checker: opts.Checker,
-		check:   opts.CheckStructure,
-		trace:   opts.Trace,
-		abortCh: make(chan struct{}),
+		opts:      opts,
+		tracer:    opts.Tracer,
+		checker:   opts.Checker,
+		check:     opts.CheckStructure,
+		lockDeque: opts.LockDeque,
+		trace:     opts.Trace,
+		abortCh:   make(chan struct{}),
 	}
 	if c, ok := opts.Checker.(StrandCloser); ok {
 		e.closer = c
@@ -356,7 +366,29 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 	}
 
 	for i := 0; i < w; i++ {
-		e.workers = append(e.workers, &worker{eng: e, id: i, rng: rand.New(rand.NewSource(int64(i + 1)))})
+		wk := &worker{
+			eng:        e,
+			id:         i,
+			rng:        rand.New(rand.NewSource(int64(i + 1))),
+			lastVictim: -1,
+			parkSig:    make(chan struct{}, 1),
+		}
+		wk.cl.init()
+		e.workers = append(e.workers, wk)
+	}
+	if opts.Stats != nil {
+		// Registered only now, with e.workers fully built, so a snapshot
+		// taken while the run is in flight reads the worker slice through
+		// the registry's mutex (registration happens-before any snapshot
+		// that observes the gauge) and the rings through their atomic
+		// pointers — no unsynchronized state.
+		opts.Stats.RegisterFunc("sched.deque_bytes", func() int64 {
+			var b int64
+			for _, wk := range e.workers {
+				b += wk.dequeBytes()
+			}
+			return b
+		})
 	}
 	e.pending.Store(1)
 	e.workers[0].push(&job{task: rootTask})
@@ -404,6 +436,11 @@ func (e *engine) registerStats(r *obsv.Registry) {
 	gauge("sched.reads", &e.cReads)
 	gauge("sched.writes", &e.cWrites)
 	gauge("sched.steals", &e.cSteals)
+	gauge("sched.steal_fails", &e.cStealFails)
+	gauge("sched.parks", &e.cParks)
+	gauge("sched.wakes", &e.cWakes)
+	gauge("sched.deque_grows", &e.cDequeGrows)
+	gauge("sched.lock_acquires", &e.cLockAcquires)
 }
 
 func (e *engine) newStrand(f *FutureTask) *Strand {
@@ -530,30 +567,67 @@ type job struct {
 
 func (j *job) take() bool { return j.state.CompareAndSwap(0, 1) }
 
-// worker executes jobs from its own deque, stealing when empty.
+// worker executes jobs from its own deque, stealing when empty. The
+// deque is a lock-free Chase–Lev ring (deque.go) by default; the
+// Options.LockDeque ablation swaps in the historical mutex-guarded
+// slice, with every acquisition counted on sched.lock_acquires.
 type worker struct {
 	eng *engine
 	id  int
 	rng *rand.Rand
 
-	mu    sync.Mutex
-	deque []*job // bottom (newest) = end of slice
+	// lastVictim is steal affinity: the worker a steal last succeeded
+	// against is probed first next time (worker-local, no sync needed).
+	lastVictim int
+
+	cl chaseLev // the lock-free deque (default)
+
+	// The Options.LockDeque ablation deque. slen/scap mirror len/cap
+	// under the lock so the pre-park work scan and the deque_bytes
+	// gauge can read them without acquiring it.
+	mu         sync.Mutex
+	slice      []*job // bottom (newest) = end of slice
+	slen, scap atomic.Int64
+
+	// Idle-protocol state; see park/wakeOne for the token discipline.
+	parked  atomic.Bool
+	parkSig chan struct{} // capacity 1; a token is a wake permit
 }
 
+// push appends j to this worker's deque and wakes at most one parked
+// worker. Everything the pusher did before the push — in particular
+// the closeStrand flush at the spawn/create site — happens-before any
+// pop or steal that obtains j (atomic publication in the Chase–Lev
+// case, the mutex in the ablation case).
 func (w *worker) push(j *job) {
-	w.mu.Lock()
-	w.deque = append(w.deque, j)
-	w.mu.Unlock()
+	e := w.eng
+	if e.lockDeque {
+		e.cLockAcquires.Add(1)
+		w.mu.Lock()
+		w.slice = append(w.slice, j)
+		w.slen.Store(int64(len(w.slice)))
+		w.scap.Store(int64(cap(w.slice)))
+		w.mu.Unlock()
+	} else if w.cl.push(j) {
+		e.cDequeGrows.Add(1)
+	}
+	e.wakeOne()
 }
 
 // pop removes the newest pending job from the bottom of the deque,
 // discarding jobs already taken elsewhere (inline drains, get claims).
 func (w *worker) pop() *job {
+	e := w.eng
+	if !e.lockDeque {
+		return w.cl.pop()
+	}
+	e.cLockAcquires.Add(1)
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for len(w.deque) > 0 {
-		j := w.deque[len(w.deque)-1]
-		w.deque = w.deque[:len(w.deque)-1]
+	for len(w.slice) > 0 {
+		j := w.slice[len(w.slice)-1]
+		w.slice = w.slice[:len(w.slice)-1]
+		w.slen.Store(int64(len(w.slice)))
 		if j.state.Load() == 0 {
 			return j
 		}
@@ -563,11 +637,18 @@ func (w *worker) pop() *job {
 
 // stealFrom removes the oldest pending job from the top of v's deque.
 func (w *worker) stealFrom(v *worker) *job {
+	e := w.eng
+	if !e.lockDeque {
+		return v.cl.steal()
+	}
+	e.cLockAcquires.Add(1)
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	for len(v.deque) > 0 {
-		j := v.deque[0]
-		v.deque = v.deque[1:]
+	for len(v.slice) > 0 {
+		j := v.slice[0]
+		v.slice = v.slice[1:]
+		v.slen.Store(int64(len(v.slice)))
+		v.scap.Store(int64(cap(v.slice)))
 		if j.state.Load() == 0 {
 			return j
 		}
@@ -575,27 +656,106 @@ func (w *worker) stealFrom(v *worker) *job {
 	return nil
 }
 
+// hasWork reports whether this worker's deque looks non-empty. Racy by
+// design: it feeds the pre-park scan, where staleness costs one more
+// probe round, never correctness.
+func (w *worker) hasWork() bool {
+	if w.eng.lockDeque {
+		return w.slen.Load() > 0
+	}
+	return w.cl.size() > 0
+}
+
+// dequeBytes is the deque's backing-store footprint for the
+// sched.deque_bytes gauge (ring capacity, or the mirrored slice cap in
+// the ablation mode).
+func (w *worker) dequeBytes() int64 {
+	if w.eng.lockDeque {
+		return w.scap.Load() * int64(unsafe.Sizeof((*job)(nil)))
+	}
+	return w.cl.memBytes()
+}
+
+// trim drops the dead entries inline claims leave at the bottom of
+// this worker's deque; called after every inline run (see runInline).
+// The mutex ablation keeps the historical accumulate-until-popped
+// behavior — its memory growth is part of what ABL9 measures.
+func (w *worker) trim() {
+	if !w.eng.lockDeque {
+		w.cl.trim()
+	}
+}
+
+// trySteal attempts one steal from v, updating affinity and counters on
+// success.
+func (w *worker) trySteal(v *worker) *job {
+	if v == w {
+		return nil
+	}
+	j := w.stealFrom(v)
+	if j == nil {
+		return nil
+	}
+	w.lastVictim = v.id
+	w.eng.cSteals.Add(1)
+	if tw := w.eng.trace; tw != nil {
+		tw.Instant(obsv.TracePidSched, uint64(w.id), "steal",
+			map[string]any{"victim": v.id, "strand": j.task.cur.ID})
+	}
+	return j
+}
+
+// findWork pops locally, then probes the last successful victim
+// (steal affinity: a victim that had surplus work recently likely
+// still does, and its deque top is warm in this worker's cache), then
+// the remaining workers from a random offset.
 func (w *worker) findWork() *job {
 	if j := w.pop(); j != nil {
 		return j
 	}
 	n := len(w.eng.workers)
-	off := w.rng.Intn(n)
-	for i := 0; i < n; i++ {
-		v := w.eng.workers[(off+i)%n]
-		if v == w {
-			continue
-		}
-		if j := w.stealFrom(v); j != nil {
-			w.eng.cSteals.Add(1)
-			if tw := w.eng.trace; tw != nil {
-				tw.Instant(obsv.TracePidSched, uint64(w.id), "steal",
-					map[string]any{"victim": v.id, "strand": j.task.cur.ID})
-			}
+	if n == 1 {
+		return nil
+	}
+	last := w.lastVictim
+	if last >= 0 {
+		if j := w.trySteal(w.eng.workers[last]); j != nil {
 			return j
 		}
 	}
+	off := w.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := w.eng.workers[(off+i)%n]
+		if v == w || v.id == last {
+			continue
+		}
+		if j := w.trySteal(v); j != nil {
+			return j
+		}
+	}
+	w.lastVictim = -1
+	w.eng.cStealFails.Add(1)
 	return nil
+}
+
+// Idle backoff thresholds: a few probe rounds with exponentially
+// lengthening busy pauses (the work may be a cache-miss away), then
+// cooperative yields (another goroutine may be about to push), then
+// park — after which the worker consumes no cycles until woken.
+const (
+	idleSpinRounds  = 4
+	idleYieldRounds = 16
+)
+
+// spinSink defeats dead-code elimination of the backoff pause loop.
+var spinSink atomic.Uint64
+
+func spinPause(n int) {
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += uint64(i)
+	}
+	spinSink.Store(s)
 }
 
 func (w *worker) loop() {
@@ -605,23 +765,112 @@ func (w *worker) loop() {
 		if e.aborted() {
 			return
 		}
-		j := w.findWork()
-		if j == nil {
-			if e.pending.Load() == 0 {
-				return
-			}
-			idle++
-			if idle > 64 {
-				time.Sleep(20 * time.Microsecond)
-			} else {
-				runtime.Gosched()
+		if j := w.findWork(); j != nil {
+			idle = 0
+			if j.take() {
+				w.runJob(j)
 			}
 			continue
 		}
-		idle = 0
-		if j.take() {
-			w.runJob(j)
+		if e.pending.Load() == 0 {
+			return
 		}
+		idle++
+		switch {
+		case idle <= idleSpinRounds:
+			spinPause(1 << (4 + idle)) // 32, 64, 128, 256: exponential
+		case idle <= idleSpinRounds+idleYieldRounds:
+			runtime.Gosched()
+		default:
+			w.park()
+			idle = 0
+		}
+	}
+}
+
+// park blocks the worker on its wake channel until a pusher hands it a
+// token, the run terminates, or an abort lands. The no-lost-wakeup
+// argument is a Dekker pattern on sequentially consistent atomics: the
+// parker stores parked=true and then re-checks termination and every
+// deque; a pusher stores its job (or the terminating worker its
+// pending decrement) and then scans the parked flags. In any
+// interleaving at least one side observes the other, so either the
+// parker cancels or the pusher/terminator wakes it.
+func (w *worker) park() {
+	e := w.eng
+	w.parked.Store(true)
+	e.parkedCount.Add(1)
+	if e.pending.Load() == 0 || e.aborted() || e.workAvailable() {
+		w.cancelPark()
+		return
+	}
+	e.cParks.Add(1)
+	select {
+	case <-w.parkSig:
+	case <-e.abortCh:
+		w.cancelPark()
+	}
+}
+
+// cancelPark retracts a park announcement. If a waker already claimed
+// this worker (the CAS fails), its token is in flight — consume it so
+// the channel is empty before the next park.
+func (w *worker) cancelPark() {
+	if w.parked.CompareAndSwap(true, false) {
+		w.eng.parkedCount.Add(-1)
+		return
+	}
+	<-w.parkSig
+}
+
+// workAvailable scans every deque for visible work (pre-park check).
+func (e *engine) workAvailable() bool {
+	for _, v := range e.workers {
+		if v.hasWork() {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeOne wakes at most one parked worker; called after every push.
+// The common case — nobody parked — is one atomic load. Token
+// discipline: a token is sent only after winning the parked CAS, and
+// every consumed flag leads to exactly one receive, so the buffered
+// channel never blocks a waker.
+func (e *engine) wakeOne() {
+	if e.parkedCount.Load() == 0 {
+		return
+	}
+	for _, w := range e.workers {
+		if w.parked.Load() && w.parked.CompareAndSwap(true, false) {
+			e.parkedCount.Add(-1)
+			e.cWakes.Add(1)
+			w.parkSig <- struct{}{}
+			return
+		}
+	}
+}
+
+// wakeAll wakes every parked worker. Called exactly once, by whichever
+// worker retires the last job (pending hits zero): the woken workers
+// observe pending==0 and exit, so the engine can never shut down with
+// a goroutine still parked.
+func (e *engine) wakeAll() {
+	for _, w := range e.workers {
+		if w.parked.CompareAndSwap(true, false) {
+			e.parkedCount.Add(-1)
+			e.cWakes.Add(1)
+			w.parkSig <- struct{}{}
+		}
+	}
+}
+
+// finishJob retires one job; the worker that brings pending to zero
+// performs the termination wake.
+func (e *engine) finishJob() {
+	if e.pending.Add(-1) == 0 {
+		e.wakeAll()
 	}
 }
 
@@ -641,7 +890,7 @@ func (w *worker) runJob(j *job) {
 				w.eng.closeStrand(j.task.cur)
 			}()
 		}
-		w.eng.pending.Add(-1)
+		w.eng.finishJob()
 	}()
 	w.eng.runBody(j.task, w)
 }
@@ -650,8 +899,11 @@ func (w *worker) runJob(j *job) {
 // drain at sync, or a get claiming an unstarted future). Panics
 // propagate: the enclosing runJob converts them.
 func (e *engine) runInline(j *job, w *worker) {
-	defer e.pending.Add(-1)
+	defer e.finishJob()
 	e.runBody(j.task, w)
+	if w != nil {
+		w.trim()
+	}
 }
 
 // runBody runs one function instance to completion: body, implicit sync,
