@@ -1,0 +1,171 @@
+// Command sfinstr rewrites programs written against the sforder Task
+// API into detector workloads: it injects Task.Read/Task.Write shadow
+// annotations for every shared memory operation it can attribute, so
+// the runtime race detector sees the sharing that hand annotation would
+// otherwise have to describe. It is the rewrite-mode counterpart of
+// sfvet: the same loader, the same attribution rules, the same
+// strand-locality pre-pass — sfvet's SF005 warns about exactly the
+// operations sfinstr will skip.
+//
+// Usage:
+//
+//	sfinstr [-tests] [-pkg list] [-diff | -o dir | -w] [-v] [packages]
+//
+// Packages follow sfvet's pattern syntax (".", "./...", module import
+// paths, trailing "/..."); -pkg is an equivalent comma-separated flag.
+// With no patterns "./..." is assumed.
+//
+// Output modes (default: a per-file summary of what would be injected):
+//
+//	-diff   print a unified diff of the rewrites to stdout
+//	-o dir  stage the instrumented packages as a runnable module under
+//	        dir: sources land at their module-relative paths and a
+//	        generated go.mod replaces the sforder requirement with the
+//	        local working copy, so `go run ./<pkg>` inside dir executes
+//	        the instrumented program offline
+//	-w      overwrite the source files in place
+//
+// Injected lines carry a //sfinstr marker; re-running sfinstr on
+// instrumented code is a no-op, and -v lists the shared operations that
+// were skipped (map elements, unsafe.Pointer, per-iteration loop
+// conditions, ...) together with the reason.
+//
+// Exit status is 0 on success, 1 when nothing could be loaded or the
+// rewrite failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sforder/internal/analysis"
+	"sforder/internal/instr"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also instrument _test.go files")
+	pkgList := flag.String("pkg", "", "comma-separated package patterns (alternative to positional arguments)")
+	diff := flag.Bool("diff", false, "print a unified diff instead of writing anything")
+	outDir := flag.String("o", "", "stage the instrumented packages as a runnable module under this directory")
+	write := flag.Bool("w", false, "overwrite source files in place")
+	verbose := flag.Bool("v", false, "list skipped operations with reasons")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sfinstr [-tests] [-pkg list] [-diff | -o dir | -w] [-v] [packages]\n\n"+
+				"injects Task.Read/Task.Write shadow annotations into sforder programs\n"+
+				"so the race detector can check them; see sfvet for the analysis mode.\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if moreThanOne(*diff, *outDir != "", *write) {
+		fmt.Fprintln(os.Stderr, "sfinstr: -diff, -o, and -w are mutually exclusive")
+		os.Exit(1)
+	}
+	patterns := flag.Args()
+	if *pkgList != "" {
+		for _, p := range strings.Split(*pkgList, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfinstr:", err)
+		os.Exit(1)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "sfinstr: %s: %v\n", p.Path, te)
+		}
+	}
+
+	results, err := instr.Packages(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfinstr:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *diff:
+		for _, res := range results {
+			for _, f := range res.Files {
+				if !f.Changed {
+					continue
+				}
+				orig, err := os.ReadFile(f.Path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sfinstr:", err)
+					os.Exit(1)
+				}
+				fmt.Print(instr.Diff(relPath(f.Path), orig, f.Output))
+			}
+		}
+	case *outDir != "":
+		root, modPath, err := analysis.ModuleInfo(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfinstr:", err)
+			os.Exit(1)
+		}
+		if err := instr.Stage(results, root, modPath, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "sfinstr:", err)
+			os.Exit(1)
+		}
+		summarize(results, *verbose)
+		fmt.Printf("staged %d package(s) under %s (module sfinstr.out, replace %s => %s)\n",
+			len(results), *outDir, modPath, root)
+	case *write:
+		for _, res := range results {
+			if err := instr.Overwrite(res); err != nil {
+				fmt.Fprintln(os.Stderr, "sfinstr:", err)
+				os.Exit(1)
+			}
+		}
+		summarize(results, *verbose)
+	default:
+		summarize(results, *verbose)
+	}
+}
+
+func moreThanOne(bs ...bool) bool {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n > 1
+}
+
+func summarize(results []*instr.Result, verbose bool) {
+	for _, res := range results {
+		for _, f := range res.Files {
+			if !f.Changed && len(f.Skips) == 0 {
+				continue
+			}
+			fmt.Printf("%s: %d reads, %d writes, %d hoisted, %d skipped\n",
+				relPath(f.Path), f.Reads, f.Writes, f.Hoists, len(f.Skips))
+			if verbose {
+				for _, s := range f.Skips {
+					fmt.Printf("  skip %s\n", s)
+				}
+			}
+		}
+	}
+}
+
+func relPath(p string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p
+	}
+	if rel, err := filepath.Rel(wd, p); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return p
+}

@@ -46,7 +46,33 @@ func silentSharing() {
 		fmt.Println("silent sharing error:", err)
 		return
 	}
-	fmt.Printf("unannotated sharing: x=%d, detector saw %d races despite a real conflict\n", x, res.RaceCount)
+	// The machine-readable line is what the sfinstr agreement test keys
+	// on: uninstrumented this program prints races=0 (the detector is
+	// blind, exactly what SF003 warns about); after `sfinstr` injects
+	// the shadow calls the same line reports the race.
+	fmt.Printf("silentSharing races=%d (x=%d)\n", res.RaceCount, x)
+}
+
+// uninstrumentableSharing shares a map between a future body and the
+// continuation (SF005): map elements have no address to take, so even
+// sfinstr cannot attribute these accesses — the sharing stays invisible
+// to the detector in both analysis and instrumented runs.
+func uninstrumentableSharing() {
+	scores := map[string]int{}
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Serial: true},
+		func(t *sforder.Task) {
+			h := t.Create(func(c *sforder.Task) any {
+				scores["hits"] = 1
+				return nil
+			})
+			scores["hits"] = 2
+			t.Get(h)
+		})
+	if err != nil {
+		fmt.Println("uninstrumentable sharing error:", err)
+		return
+	}
+	fmt.Printf("uninstrumentableSharing races=%d (len=%d)\n", res.RaceCount, len(scores))
 }
 
 type resultBox struct {
@@ -102,6 +128,7 @@ var _ = selfGet
 func main() {
 	doubleGet()
 	silentSharing()
+	uninstrumentableSharing()
 	leakHandle()
 	backwardHandle()
 }

@@ -6,7 +6,7 @@
 // during execution and dag.Validate after it), built on go/ast and
 // go/types only — no dependencies outside the standard library.
 //
-// Four passes run over each type-checked package:
+// Five passes run over each type-checked package:
 //
 //	SF001 multi-touch          a Future handle reaching more than one
 //	                           Get along some intra-procedural CFG path
@@ -24,10 +24,19 @@
 //	                           global, or channel, where sequential
 //	                           reachability of the Get can no longer be
 //	                           established (get-reachability, paper §2)
+//	SF005 uninstrumentable     a shared memory operation the sfinstr
+//	                           rewriter cannot attribute to a shadow
+//	                           address (map elements, unsafe.Pointer,
+//	                           interface unboxing, reflect) — coverage
+//	                           silently lost at rewrite time is surfaced
+//	                           in analysis mode instead (§4)
 //
-// SF001 and SF002 are errors; SF003 and SF004 are warnings. All checks
+// SF001 and SF002 are errors; SF003–SF005 are warnings. All checks
 // resolve the Task/Future API through go/types, so both the public
-// sforder surface and internal/sched clients are analyzed.
+// sforder surface and internal/sched clients are analyzed. The same
+// machinery — the loader, the call classifier, the locality pre-pass,
+// and the attribution helper — is exported for internal/instr, which
+// rewrites programs instead of reporting on them.
 package analysis
 
 import (
@@ -86,6 +95,7 @@ var Checks = []struct {
 	{"SF002", Error, contract.GetReachability, "a handle is captured by the closure passed to its own Create"},
 	{"SF003", Warning, contract.AnnotatedSharing, "a variable is shared between a task closure and its continuation without shadow annotations"},
 	{"SF004", Warning, contract.GetReachability, "a Future handle is stored into a struct field, global, or channel"},
+	{"SF005", Warning, contract.AnnotatedSharing, "a shared memory operation the sfinstr rewriter cannot attribute (map element, unsafe.Pointer, interface unboxing, reflect)"},
 }
 
 // AnalyzePackage runs every pass over p and returns the findings sorted
@@ -114,6 +124,7 @@ func AnalyzePackage(p *Package) []Diagnostic {
 		checkHandleEscape(p, f, report)
 		checkUnannotatedSharing(p, f, report)
 		checkLeakedHandle(p, f, report)
+		checkUninstrumentable(p, f, report)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos

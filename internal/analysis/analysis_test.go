@@ -43,7 +43,7 @@ func parseWant(t *testing.T, file string) map[string]bool {
 // testdata/src and checks the findings exactly match the `// want`
 // annotations — nothing missing, nothing extra.
 func TestFixtures(t *testing.T) {
-	for _, name := range []string{"multitouch", "escape", "sharing", "leak", "clean"} {
+	for _, name := range []string{"multitouch", "escape", "sharing", "leak", "uninstr", "clean"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)
 			pkgs, err := Load(dir, []string{"."}, false)

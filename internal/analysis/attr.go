@@ -1,0 +1,257 @@
+package analysis
+
+// Memory-operation attribution, shared by the SF005 check (analysis
+// mode: warn about coverage sfinstr will lose) and the internal/instr
+// rewriter (rewrite mode: decide whether `&expr` is a legal, meaningful
+// shadow address for an injected Task.Read/Task.Write). An operation is
+// attributable when its address can be taken with an ordinary Go `&`
+// and that address names the memory the program actually touches; the
+// failure reasons distinguish ops that are silently fine to skip
+// (temporaries, string bytes — they cannot race) from ops whose skip
+// loses real coverage (map elements, accesses through unsafe.Pointer or
+// interface values, reflect-based access) and must be surfaced.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AttrResult classifies one memory operation's attributability.
+type AttrResult int
+
+const (
+	// AttrOK: &expr is legal and names the touched memory.
+	AttrOK AttrResult = iota
+	// AttrMap: a map element has no address to take; the sharing is
+	// invisible to the detector (surfaced by SF005).
+	AttrMap
+	// AttrUnsafe: the access goes through an unsafe.Pointer; type-based
+	// attribution is defeated (surfaced by SF005).
+	AttrUnsafe
+	// AttrInterface: the access reads a value unboxed from an interface
+	// (a value-type assertion); the copy's address does not name the
+	// shared cell (surfaced by SF005).
+	AttrInterface
+	// AttrTemp: the access is rooted at an rvalue temporary (a call or
+	// conversion result, a map value copy); it touches a copy, which
+	// cannot race — silently skipped.
+	AttrTemp
+	// AttrString: string bytes are immutable and cannot race — silently
+	// skipped.
+	AttrString
+	// AttrOther: not an attributable shape (blank identifier, constant,
+	// package name, ...) — silently skipped.
+	AttrOther
+)
+
+func (r AttrResult) String() string {
+	switch r {
+	case AttrOK:
+		return "ok"
+	case AttrMap:
+		return "map element has no address"
+	case AttrUnsafe:
+		return "access through unsafe.Pointer"
+	case AttrInterface:
+		return "access through an interface value"
+	case AttrTemp:
+		return "rvalue temporary"
+	case AttrString:
+		return "immutable string byte"
+	default:
+		return "not attributable"
+	}
+}
+
+// Surfaced reports whether a failed attribution loses real coverage and
+// should be warned about (SF005) rather than silently skipped.
+func (r AttrResult) Surfaced() bool {
+	return r == AttrMap || r == AttrUnsafe || r == AttrInterface
+}
+
+// AttributeAddr decides whether `&e` is a legal Go expression that
+// names the memory e touches. It mirrors the spec's addressability
+// rules: variables, pointer dereferences, slice index expressions, and
+// field/index chains over addressable operands are addressable; map
+// elements, string bytes, and rvalue temporaries are not.
+func AttributeAddr(info *types.Info, e ast.Expr) AttrResult {
+	if usesUnsafe(info, e) {
+		return AttrUnsafe
+	}
+	return addressable(info, e)
+}
+
+func addressable(info *types.Info, e ast.Expr) AttrResult {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return AttrOther
+		}
+		if v := objOf(info, x); v != nil {
+			return AttrOK
+		}
+		return AttrOther
+	case *ast.SelectorExpr:
+		sel := info.Selections[x]
+		if sel == nil {
+			// Qualified identifier pkg.Var: addressable when it is a
+			// variable.
+			if _, ok := info.Uses[x.Sel].(*types.Var); ok {
+				return AttrOK
+			}
+			return AttrOther
+		}
+		if sel.Kind() != types.FieldVal {
+			return AttrOther // method value/expr: not a memory op
+		}
+		if isPointer(info.Types[x.X].Type) {
+			// Pointer base: (*base).f is addressable however the base
+			// value was produced (call results are hoisted by the
+			// rewriter), so the base only needs to be evaluable.
+			return AttrOK
+		}
+		return addressable(info, x.X)
+	case *ast.IndexExpr:
+		bt := info.Types[x.X].Type
+		if bt == nil {
+			return AttrOther
+		}
+		switch u := bt.Underlying().(type) {
+		case *types.Map:
+			return AttrMap
+		case *types.Slice, *types.Pointer:
+			return AttrOK // elements addressable regardless of base
+		case *types.Array:
+			return addressable(info, x.X)
+		case *types.Basic:
+			if u.Info()&types.IsString != 0 {
+				return AttrString
+			}
+		}
+		return AttrOther
+	case *ast.StarExpr:
+		return AttrOK
+	case *ast.TypeAssertExpr:
+		return AttrInterface // value-type assertion result is a copy
+	case *ast.CallExpr, *ast.CompositeLit, *ast.BasicLit:
+		return AttrTemp
+	default:
+		return AttrOther
+	}
+}
+
+// isPointer reports whether t's underlying type is a pointer.
+func isPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// usesUnsafe reports whether any subexpression's type involves
+// unsafe.Pointer.
+func usesUnsafe(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[ex]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// AccessRoot resolves the base of an access-path expression (selector /
+// index / dereference chains) to the named variable it is rooted at,
+// reporting whether the path crosses a pointer hop (pointer-field
+// selection, slice indexing, dereference) — i.e. whether the touched
+// memory is the root's own storage or memory the root references.
+// A nil root means the base is not a named variable (a call result, a
+// map value, ...).
+func AccessRoot(info *types.Info, e ast.Expr) (root *types.Var, throughPointer bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return objOf(info, x), throughPointer
+		case *ast.SelectorExpr:
+			if info.Selections[x] == nil {
+				// Qualified identifier: the "root" is the package-level
+				// variable itself.
+				if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+					return v, throughPointer
+				}
+				return nil, throughPointer
+			}
+			if isPointer(info.Types[x.X].Type) {
+				throughPointer = true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if bt := info.Types[x.X].Type; bt != nil {
+				switch bt.Underlying().(type) {
+				case *types.Slice, *types.Pointer, *types.Map:
+					throughPointer = true
+				}
+			}
+			e = x.X
+		case *ast.StarExpr:
+			throughPointer = true
+			e = x.X
+		default:
+			return nil, throughPointer
+		}
+	}
+}
+
+// SharedOp combines the locality pre-pass with the access path: it
+// reports whether the memory e touches may be visible to more than one
+// strand. Operations on never-escaping locals, or through pointers with
+// provably local pointees, are strand-local; everything else is
+// conservatively shared.
+func SharedOp(info *types.Info, loc *Locality, e ast.Expr) bool {
+	root, viaPtr := AccessRoot(info, e)
+	if root == nil {
+		return true // unknown base: conservatively shared
+	}
+	if IsTaskType(root.Type()) || IsFutureType(root.Type()) {
+		return false // the synchronization mechanism, not data
+	}
+	if !viaPtr {
+		return loc.Escapes(root)
+	}
+	return !loc.LocalPointee(root)
+}
+
+// IsReflectMutation recognizes reflect-based memory operations the
+// instrumenter cannot attribute: method calls on reflect.Value whose
+// name mutates the target (Set, SetInt, SetMapIndex, ...), and
+// reflect.Copy.
+func IsReflectMutation(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "reflect" {
+		return false
+	}
+	if obj.Name() == "Copy" {
+		return true
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return strings.HasPrefix(obj.Name(), "Set")
+}

@@ -27,8 +27,8 @@ func checkHandleEscape(p *Package, f *ast.File, report reporter) {
 			if !ok {
 				continue
 			}
-			sc, ok := classifyCall(p.Info, call)
-			if !ok || sc.kind != callCreate || sc.fn == nil {
+			sc, ok := ClassifyCall(p.Info, call)
+			if !ok || sc.Kind != CallCreate || sc.Fn == nil {
 				continue
 			}
 			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
@@ -36,10 +36,10 @@ func checkHandleEscape(p *Package, f *ast.File, report reporter) {
 				continue
 			}
 			v := objOf(p.Info, id)
-			if v == nil || !isFutureType(v.Type()) {
+			if v == nil || !IsFutureType(v.Type()) {
 				continue
 			}
-			if use := firstUse(p.Info, sc.fn.Body, v); use.IsValid() {
+			if use := firstUse(p.Info, sc.Fn.Body, v); use.IsValid() {
 				report(use, "SF002",
 					"handle %q is captured by the closure passed to its own Create: any Get here runs inside the created task, so no path outside the task can reach it",
 					v.Name())

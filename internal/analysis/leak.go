@@ -18,7 +18,7 @@ import (
 func checkLeakedHandle(p *Package, f *ast.File, report reporter) {
 	futureExpr := func(e ast.Expr) bool {
 		tv, ok := p.Info.Types[e]
-		return ok && isFutureType(tv.Type)
+		return ok && IsFutureType(tv.Type)
 	}
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch x := n.(type) {

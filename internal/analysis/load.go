@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -56,8 +57,14 @@ type loadEntry struct {
 // be filesystem paths ("./...", "./examples/pipeline", "."), module
 // import paths ("sforder/internal/sched"), or either form with a
 // trailing "/..." wildcard. Test files are excluded unless includeTests
-// is set; testdata, vendor, hidden, and underscore directories are
-// never walked.
+// is set — consistently: a directory whose only Go files are tests is
+// still matched under includeTests, wildcard walks included. Files
+// excluded by build constraints ("//go:build" lines and _GOOS/_GOARCH
+// filename suffixes, evaluated for the host configuration like the go
+// tool would) are skipped rather than parsed, so a constrained-out
+// file can neither break type-checking nor be rewritten by the
+// instrumenter into a build it was never part of. testdata, vendor,
+// hidden, and underscore directories are never walked.
 func Load(baseDir string, patterns []string, includeTests bool) ([]*Package, error) {
 	absBase, err := filepath.Abs(baseDir)
 	if err != nil {
@@ -97,7 +104,7 @@ func Load(baseDir string, patterns []string, includeTests bool) ([]*Package, err
 		}
 		dir := l.resolvePattern(pat, absBase)
 		if recursive {
-			walkGoDirs(dir, add)
+			walkGoDirs(dir, includeTests, add)
 		} else if hasGoFiles(dir, includeTests) {
 			add(dir)
 		} else {
@@ -132,6 +139,18 @@ func (l *loader) resolvePattern(pat, base string) string {
 	}
 }
 
+// ModuleInfo reports the root directory and module path of the Go
+// module enclosing dir. The instrumenter uses it to reproduce a staged
+// package at its module-relative location and point the staged go.mod's
+// replace directive back at the source module.
+func ModuleInfo(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	return findModule(abs)
+}
+
 // findModule walks up from dir to the enclosing go.mod and returns the
 // module root and module path.
 func findModule(dir string) (root, modPath string, err error) {
@@ -159,7 +178,7 @@ func skipDir(name string) bool {
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
 }
 
-func walkGoDirs(root string, add func(string)) {
+func walkGoDirs(root string, includeTests bool, add func(string)) {
 	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return nil
@@ -168,7 +187,7 @@ func walkGoDirs(root string, add func(string)) {
 			if path != root && skipDir(d.Name()) {
 				return filepath.SkipDir
 			}
-			if hasGoFiles(path, false) {
+			if hasGoFiles(path, includeTests) {
 				add(path)
 			}
 		}
@@ -182,17 +201,28 @@ func hasGoFiles(dir string, includeTests bool) bool {
 		return false
 	}
 	for _, e := range ents {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
-			continue
+		if !e.IsDir() && includeFile(dir, e.Name(), includeTests) {
+			return true
 		}
-		if !includeTests && strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		return true
 	}
 	return false
+}
+
+// includeFile decides whether one file participates in the package the
+// way `go build` (plus -tests) would: .go extension, not hidden or
+// underscore-prefixed, the _test.go rule, and the build constraints for
+// the host GOOS/GOARCH ("//go:build" lines and filename suffixes, via
+// go/build's matcher).
+func includeFile(dir, name string, includeTests bool) bool {
+	if !strings.HasSuffix(name, ".go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	if !includeTests && strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
 }
 
 // loadDir parses and type-checks the package in dir (memoized).
@@ -218,15 +248,10 @@ func (l *loader) parseAndCheck(dir string) (*Package, error) {
 	}
 	var names []string
 	for _, ent := range ents {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		if ent.IsDir() || !includeFile(dir, ent.Name(), l.includeTests) {
 			continue
 		}
-		if !l.includeTests && strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		names = append(names, name)
+		names = append(names, ent.Name())
 	}
 	sort.Strings(names)
 	if len(names) == 0 {

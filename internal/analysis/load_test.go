@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeTree lays out a throwaway module for loader tests.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadRespectsBuildTags: a file excluded by //go:build must be
+// neither parsed nor type-checked — it references an undefined symbol
+// that would otherwise fail the load. Same for a GOOS filename suffix
+// that cannot match the host.
+func TestLoadRespectsBuildTags(t *testing.T) {
+	otherOS := "windows"
+	if runtime.GOOS == "windows" {
+		otherOS = "linux"
+	}
+	root := writeTree(t, map[string]string{
+		"go.mod":                       "module tagmod\n\ngo 1.22\n",
+		"pkg/ok.go":                    "package pkg\n\nfunc OK() int { return 1 }\n",
+		"pkg/bad.go":                   "//go:build sfinstr_never_set\n\npackage pkg\n\nvar _ = undefinedSymbol\n",
+		"pkg/osbad_" + otherOS + ".go": "package pkg\n\nvar _ = alsoUndefined\n",
+	})
+	pkgs, err := Load(root, []string{"./pkg"}, false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) > 0 {
+		t.Fatalf("constrained-out files leaked into the type check: %v", pkgs[0].TypeErrors)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("parsed %d files, want 1 (ok.go only)", len(pkgs[0].Files))
+	}
+}
+
+// TestLoadTestFileConsistency: a directory whose only Go files are
+// tests is invisible without includeTests and matched with it — for
+// direct patterns and wildcard walks alike.
+func TestLoadTestFileConsistency(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                 "module testmod\n\ngo 1.22\n",
+		"lib/lib.go":             "package lib\n\nfunc Lib() {}\n",
+		"onlytests/x_test.go":    "package onlytests\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+		"lib/deeper/lib_test.go": "package deeper\n\nimport \"testing\"\n\nfunc TestY(t *testing.T) {}\n",
+	})
+
+	countDirs := func(pkgs []*Package) map[string]bool {
+		out := map[string]bool{}
+		for _, p := range pkgs {
+			rel, _ := filepath.Rel(root, p.Dir)
+			out[filepath.ToSlash(rel)] = true
+		}
+		return out
+	}
+
+	pkgs, err := Load(root, []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("Load without tests: %v", err)
+	}
+	dirs := countDirs(pkgs)
+	if dirs["onlytests"] || dirs["lib/deeper"] {
+		t.Errorf("test-only directories matched without includeTests: %v", dirs)
+	}
+
+	pkgs, err = Load(root, []string{"./..."}, true)
+	if err != nil {
+		t.Fatalf("Load with tests: %v", err)
+	}
+	dirs = countDirs(pkgs)
+	if !dirs["onlytests"] || !dirs["lib/deeper"] {
+		t.Errorf("test-only directories missed with includeTests: %v", dirs)
+	}
+
+	if _, err := Load(root, []string{"./onlytests"}, false); err == nil {
+		t.Errorf("direct pattern on a test-only directory succeeded without includeTests")
+	}
+	if _, err := Load(root, []string{"./onlytests"}, true); err != nil {
+		t.Errorf("direct pattern on a test-only directory failed with includeTests: %v", err)
+	}
+}

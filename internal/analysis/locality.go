@@ -1,0 +1,298 @@
+package analysis
+
+// Strand-locality pre-pass, shared by the SF005 check and the
+// internal/instr rewriter. It classifies, per file, which named
+// variables can only ever be touched by the strand that created them:
+// operations on those need no shadow annotations (skipping them is
+// race-preserving — a location one strand can reach cannot be part of a
+// determinacy race), and SF005 need not warn when such an operation is
+// unattributable.
+//
+// Two facts are computed:
+//
+//   - Escapes(v): v's own storage may be reachable from another strand.
+//     True for package-level variables, variables captured by any
+//     function literal (a literal passed to Create/Spawn runs on a
+//     different strand; any other literal may flow there), and
+//     variables whose address is taken. Everything else is a local
+//     whose cell only its creating strand can name.
+//
+//   - LocalPointee(v): v is a pointer/slice/map variable and the memory
+//     it references is provably allocated by this function and never
+//     shared: every definition of v is a fresh local allocation
+//     (make, new, a composite literal, or its address, or append
+//     growing v back into itself) and v is never captured,
+//     address-taken, passed to another function (len/cap/delete and
+//     self-append excepted), stored, returned, sent, or aliased.
+//     Dereference-style accesses through such a v are strand-local
+//     even though a dereference is in general a shared-memory
+//     operation.
+//
+// Both analyses are deliberately syntactic and conservative in the
+// escaping direction: anything not proven local is treated as shared,
+// which costs annotations (overhead), never races (soundness).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Locality is the pre-pass result for one file.
+type Locality struct {
+	info     *types.Info
+	pkg      *types.Package
+	captured map[*types.Var]bool
+	addrOf   map[*types.Var]bool
+	// pointeeDisqualified marks pointer-like vars with at least one
+	// definition or use outside the locally-allocated discipline;
+	// pointeeCandidate marks those seen with at least one allowed local
+	// allocation. LocalPointee = candidate && !disqualified.
+	pointeeDisqualified map[*types.Var]bool
+	pointeeCandidate    map[*types.Var]bool
+}
+
+// ComputeLocality runs the pre-pass over one file.
+func ComputeLocality(info *types.Info, pkg *types.Package, file *ast.File) *Locality {
+	l := &Locality{
+		info:                info,
+		pkg:                 pkg,
+		captured:            map[*types.Var]bool{},
+		addrOf:              map[*types.Var]bool{},
+		pointeeDisqualified: map[*types.Var]bool{},
+		pointeeCandidate:    map[*types.Var]bool{},
+	}
+	l.scanCaptures(file)
+	l.scanPointees(file)
+	return l
+}
+
+// Escapes reports whether v's own storage may be visible to a strand
+// other than the one that declared it. Unknown objects escape.
+func (l *Locality) Escapes(v *types.Var) bool {
+	if v == nil {
+		return true
+	}
+	if l.pkg != nil && v.Parent() == l.pkg.Scope() {
+		return true // package-level
+	}
+	if v.IsField() {
+		return true // fields live wherever their struct lives
+	}
+	return l.captured[v] || l.addrOf[v]
+}
+
+// LocalPointee reports whether dereference-style accesses through v
+// (v[i], *v, v.f on pointer v) are provably strand-local.
+func (l *Locality) LocalPointee(v *types.Var) bool {
+	if v == nil || l.Escapes(v) {
+		return false
+	}
+	return l.pointeeCandidate[v] && !l.pointeeDisqualified[v]
+}
+
+// scanCaptures fills captured (idents used inside a literal but
+// declared outside it) and addrOf (&v anywhere, including &v.f and
+// &v[i]: the address aliases into v's storage).
+func (l *Locality) scanCaptures(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := l.info.Uses[id].(*types.Var)
+				if ok && !v.IsField() && declaredOutside(x, v) {
+					l.captured[v] = true
+				}
+				return true
+			})
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id := writeTarget(x.X); id != nil {
+					if v := objOf(l.info, id); v != nil {
+						l.addrOf[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// pointerLike reports whether v's type carries a pointee we track:
+// slice, pointer, or map.
+func pointerLike(v *types.Var) bool {
+	switch v.Type().Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// freshAllocExpr reports whether e is a fresh local allocation: make,
+// new, a composite literal or its address, or nil. Only fresh
+// allocations establish locally-allocated candidacy.
+func (l *Locality) freshAllocExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "make", "new":
+				return l.info.Uses[id] == nil || l.info.Uses[id].Parent() == types.Universe
+			}
+		}
+	}
+	return false
+}
+
+// growSelfExpr reports whether e is append(v, ...) growing v back into
+// itself: the backing stays whatever it already was (values are copied
+// in), so it neither establishes nor breaks candidacy.
+func (l *Locality) growSelfExpr(e ast.Expr, self *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if u := l.info.Uses[id]; u != nil && u.Parent() != types.Universe {
+		return false
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && objOf(l.info, base) == self
+}
+
+// scanPointees walks every identifier use of pointer-like local
+// variables and classifies it as within or outside the
+// locally-allocated discipline, using a parent stack for context.
+func (l *Locality) scanPointees(file *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := objOf(l.info, id)
+		if v == nil || !pointerLike(v) || (l.pkg != nil && v.Parent() == l.pkg.Scope()) || v.IsField() {
+			return true
+		}
+		if !l.classifyUse(id, v, stack) {
+			l.pointeeDisqualified[v] = true
+		}
+		return true
+	})
+}
+
+// classifyUse reports whether this occurrence of v keeps the
+// locally-allocated discipline. stack[len-1] is the ident itself.
+func (l *Locality) classifyUse(id *ast.Ident, v *types.Var, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent := stack[len(stack)-2]
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		return p.X == id // access path base; p.Sel is not a use of v
+	case *ast.IndexExpr:
+		return true // base (access path) or index (a value read of v? only if v were an index — pointer-like never is)
+	case *ast.StarExpr:
+		return true // deref: access path
+	case *ast.RangeStmt:
+		// As the range operand the use is an access path; as the key or
+		// value variable v would be rebound to memory ranging over
+		// someone else's allocation — disqualify.
+		return p.X == id
+	case *ast.AssignStmt:
+		for i, lh := range p.Lhs {
+			if lh == id {
+				// Definition: allowed only when the matching RHS is a
+				// fresh local allocation (tuple-assign from a call has
+				// len(Rhs) != len(Lhs) and disqualifies).
+				if len(p.Rhs) != len(p.Lhs) {
+					return false
+				}
+				if l.freshAllocExpr(p.Rhs[i]) {
+					l.pointeeCandidate[v] = true
+					return true
+				}
+				return l.growSelfExpr(p.Rhs[i], v)
+			}
+		}
+		return false // v appears on an RHS feeding another variable: aliased
+	case *ast.ValueSpec:
+		for i, name := range p.Names {
+			if name == id {
+				if len(p.Values) == 0 {
+					l.pointeeCandidate[v] = true // zero value: nil pointee
+					return true
+				}
+				if i < len(p.Values) && l.freshAllocExpr(p.Values[i]) {
+					l.pointeeCandidate[v] = true
+					return true
+				}
+				return false
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if fn, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			switch fn.Name {
+			case "len", "cap", "delete", "clear":
+				if l.info.Uses[fn] == nil || l.info.Uses[fn].Parent() == types.Universe {
+					return true
+				}
+			case "append":
+				// Only as append's first argument, and only when the
+				// result grows v back into itself.
+				if len(p.Args) > 0 && ast.Unparen(p.Args[0]) == ast.Expr(id) {
+					if len(stack) >= 3 {
+						if as, ok := stack[len(stack)-3].(*ast.AssignStmt); ok && len(as.Lhs) == 1 {
+							if tgt, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && objOf(l.info, tgt) == v {
+								return true
+							}
+						}
+					}
+				}
+			}
+		}
+		return false // escapes into a call
+	case *ast.BinaryExpr:
+		// nil comparisons read the header value only.
+		other := p.X
+		if other == id {
+			other = p.Y
+		}
+		if o, ok := ast.Unparen(other).(*ast.Ident); ok && o.Name == "nil" {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// declaredOutside reports whether v's declaration lies outside fn.
+// (Shared with the SF003 pass.)
+func declaredOutside(fn *ast.FuncLit, v *types.Var) bool {
+	return v.Pos() < fn.Pos() || v.Pos() > fn.End()
+}

@@ -83,11 +83,11 @@ func (c *mtChecker) expr(e ast.Expr, s mtState) mtState {
 		if !ok {
 			return true
 		}
-		sc, ok := classifyCall(c.p.Info, call)
-		if !ok || sc.kind != callGet || sc.handle == nil {
+		sc, ok := ClassifyCall(c.p.Info, call)
+		if !ok || sc.Kind != CallGet || sc.Handle == nil {
 			return true
 		}
-		v := handleVar(c.p.Info, sc.handle)
+		v := handleVar(c.p.Info, sc.Handle)
 		if v == nil {
 			return true
 		}
@@ -110,7 +110,7 @@ func (c *mtChecker) expr(e ast.Expr, s mtState) mtState {
 // kill removes a reassigned handle variable from the state.
 func (c *mtChecker) kill(s mtState, id *ast.Ident) mtState {
 	v := objOf(c.p.Info, id)
-	if v == nil || !isFutureType(v.Type()) {
+	if v == nil || !IsFutureType(v.Type()) {
 		return s
 	}
 	if _, ok := s[v]; !ok {
@@ -323,7 +323,7 @@ func assignedFutureVars(info *types.Info, n ast.Node) map[*types.Var]bool {
 	out := map[*types.Var]bool{}
 	mark := func(e ast.Expr) {
 		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
-			if v := objOf(info, id); v != nil && isFutureType(v.Type()) {
+			if v := objOf(info, id); v != nil && IsFutureType(v.Type()) {
 				out[v] = true
 			}
 		}

@@ -39,11 +39,11 @@ func checkUnannotatedSharing(p *Package, f *ast.File, report reporter) {
 			if !ok {
 				return true
 			}
-			sc, ok := classifyCall(p.Info, call)
-			if !ok || (sc.kind != callCreate && sc.kind != callSpawn) || sc.fn == nil {
+			sc, ok := ClassifyCall(p.Info, call)
+			if !ok || (sc.Kind != CallCreate && sc.Kind != CallSpawn) || sc.Fn == nil {
 				return true
 			}
-			checkClosureSharing(p, fs, sc.fn, report)
+			checkClosureSharing(p, fs, sc.Fn, report)
 			return true
 		})
 	}
@@ -58,7 +58,7 @@ func hasAnnotations(info *types.Info, n ast.Node) bool {
 			return false
 		}
 		if call, ok := m.(*ast.CallExpr); ok {
-			if sc, ok := classifyCall(info, call); ok && (sc.kind == callRead || sc.kind == callWrite) {
+			if sc, ok := ClassifyCall(info, call); ok && (sc.Kind == CallRead || sc.Kind == CallWrite) {
 				found = true
 			}
 		}
@@ -71,7 +71,7 @@ func hasAnnotations(info *types.Info, n ast.Node) bool {
 // are declared outside fn and also used by the enclosing function
 // outside fn.
 func checkClosureSharing(p *Package, fs funcScope, fn *ast.FuncLit, report reporter) {
-	param := taskParamOf(p.Info, fn)
+	param := TaskParamOf(p.Info, fn)
 	if param != nil && taskParamEscapes(p.Info, fn, param) {
 		return
 	}
@@ -82,7 +82,7 @@ func checkClosureSharing(p *Package, fs funcScope, fn *ast.FuncLit, report repor
 			return
 		}
 		v := objOf(p.Info, id)
-		if v == nil || seen[v] || v == param || v.IsField() || isFutureType(v.Type()) || isTaskType(v.Type()) {
+		if v == nil || seen[v] || v == param || v.IsField() || IsFutureType(v.Type()) || IsTaskType(v.Type()) {
 			return
 		}
 		if !declaredOutside(fn, v) || !usedOutside(p.Info, fs.body, fn, v) {
@@ -106,20 +106,6 @@ func checkClosureSharing(p *Package, fs funcScope, fn *ast.FuncLit, report repor
 	})
 }
 
-// taskParamOf returns fn's Task-typed parameter variable, if any.
-func taskParamOf(info *types.Info, fn *ast.FuncLit) *types.Var {
-	sig, ok := info.Types[fn].Type.(*types.Signature)
-	if !ok {
-		return nil
-	}
-	for i := 0; i < sig.Params().Len(); i++ {
-		if v := sig.Params().At(i); isTaskType(v.Type()) {
-			return v
-		}
-	}
-	return nil
-}
-
 // taskParamEscapes reports whether the closure's Task parameter is used
 // anywhere other than as the receiver of a classified API call (or the
 // task argument of GetTyped) — e.g. passed to a helper function, which
@@ -136,9 +122,9 @@ func taskParamEscapes(info *types.Info, fn *ast.FuncLit, param *types.Var) bool 
 			uses++
 		}
 		if call, ok := n.(*ast.CallExpr); ok {
-			if sc, ok := classifyCall(info, call); ok {
-				if sc.recv != nil {
-					countRecv(sc.recv)
+			if sc, ok := ClassifyCall(info, call); ok {
+				if sc.Recv != nil {
+					countRecv(sc.Recv)
 				} else if len(call.Args) > 0 {
 					countRecv(call.Args[0]) // GetTyped(t, h)
 				}
@@ -147,11 +133,6 @@ func taskParamEscapes(info *types.Info, fn *ast.FuncLit, param *types.Var) bool 
 		return true
 	})
 	return uses > allowed
-}
-
-// declaredOutside reports whether v's declaration lies outside fn.
-func declaredOutside(fn *ast.FuncLit, v *types.Var) bool {
-	return v.Pos() < fn.Pos() || v.Pos() > fn.End()
 }
 
 // usedOutside reports whether v is referenced anywhere in body outside

@@ -1,0 +1,85 @@
+// Fixture for SF005 uninstrumentable-operation: shared memory ops the
+// sfinstr rewriter cannot attribute (map elements, unsafe.Pointer,
+// interface unboxing, reflect), plus the silences: strand-local ops,
+// hand-annotated functions, and escaping Task parameters.
+package main
+
+import (
+	"reflect"
+	"unsafe"
+
+	"sforder"
+)
+
+type pair struct{ a, b int }
+
+// mapSharing writes a captured map from a future body and the
+// continuation: both element accesses are unattributable.
+func mapSharing(t *sforder.Task) {
+	scores := map[string]int{}
+	h := t.Create(func(c *sforder.Task) any {
+		scores["a"] = 1 // want SF005
+		return nil
+	})
+	scores["b"] = 2 // want SF005
+	t.Get(h)
+}
+
+// localMap is strand-local: the map never leaves this function, so the
+// skipped attribution loses nothing.
+func localMap(t *sforder.Task) int {
+	m := map[int]int{}
+	m[1] = 2
+	h := t.Create(func(c *sforder.Task) any { return nil })
+	t.Get(h)
+	return len(m)
+}
+
+// unsafeAccess goes through unsafe.Pointer: type-based attribution is
+// defeated.
+func unsafeAccess(t *sforder.Task, p *pair) int {
+	h := t.Create(func(c *sforder.Task) any { return nil })
+	v := *(*int)(unsafe.Pointer(p)) // want SF005
+	t.Get(h)
+	return v
+}
+
+// interfaceUnbox reads a field from a value unboxed out of an
+// interface: the copy's address does not name the shared cell.
+func interfaceUnbox(t *sforder.Task, box any) int {
+	h := t.Create(func(c *sforder.Task) any { return nil })
+	v := box.(pair).a // want SF005
+	t.Get(h)
+	return v
+}
+
+// reflectMutation writes through reflect.Value.
+func reflectMutation(t *sforder.Task, p *pair) {
+	h := t.Create(func(c *sforder.Task) any { return nil })
+	reflect.ValueOf(p).Elem().Field(0).SetInt(3) // want SF005
+	t.Get(h)
+}
+
+// annotated carries hand annotations: the author is annotating, so
+// sfinstr coverage is moot and the pass stays silent.
+func annotated(t *sforder.Task, shared map[string]int) {
+	h := t.Create(func(c *sforder.Task) any {
+		c.Write(1)
+		shared["a"] = 1
+		return nil
+	})
+	t.Write(1)
+	shared["b"] = 2
+	t.Get(h)
+}
+
+// helperTask passes its Task to a helper, which may annotate on its
+// behalf: silent, mirroring SF003.
+func helperTask(t *sforder.Task, shared map[string]int) {
+	helper(t)
+	shared["a"] = 1
+}
+
+func helper(t *sforder.Task) { t.Sync() }
+
+func main() {}

@@ -9,6 +9,8 @@ import (
 // The analyzer recognizes the Task/Future API through go/types, so it
 // works identically on code written against the public sforder package
 // (whose Task/Future are aliases) and against internal/sched directly.
+// The classification helpers are exported: internal/instr drives the
+// same machinery to rewrite programs rather than report on them.
 
 // sfPackage reports whether path is the sforder module's API surface.
 func sfPackage(path string) bool {
@@ -30,36 +32,49 @@ func namedSF(t types.Type, name string) bool {
 	return obj.Name() == name && obj.Pkg() != nil && sfPackage(obj.Pkg().Path())
 }
 
-func isTaskType(t types.Type) bool   { return t != nil && namedSF(t, "Task") }
-func isFutureType(t types.Type) bool { return t != nil && namedSF(t, "Future") }
+// IsTaskType reports whether t is sforder.Task / sched.Task (or a
+// pointer to it).
+func IsTaskType(t types.Type) bool { return t != nil && namedSF(t, "Task") }
 
-// callKind classifies a call's relation to the structured-futures API.
-type callKind int
+// IsFutureType reports whether t is sforder.Future / sched.Future (or a
+// pointer to it).
+func IsFutureType(t types.Type) bool { return t != nil && namedSF(t, "Future") }
+
+// CallKind classifies a call's relation to the structured-futures API.
+type CallKind int
 
 const (
-	callNone callKind = iota
-	callGet           // Task.Get or sforder.GetTyped
-	callCreate
-	callSpawn
-	callRead
-	callWrite
+	CallNone CallKind = iota
+	CallGet           // Task.Get or sforder.GetTyped
+	CallCreate
+	CallSpawn
+	CallSync
+	CallRead
+	CallWrite
 )
 
-// sfCall describes one classified call.
-type sfCall struct {
-	kind callKind
-	// recv is the Task-typed receiver expression (nil for GetTyped,
-	// whose task is the first argument).
-	recv ast.Expr
-	// handle is the future-handle argument for callGet, nil otherwise.
-	handle ast.Expr
-	// fn is the closure argument for callCreate/callSpawn when it is a
-	// literal, nil otherwise.
-	fn *ast.FuncLit
+// Advances reports whether the call steps its task onto a new strand:
+// every access made after it belongs to a different dag node than
+// accesses made before it. Read/Write annotations do not advance.
+func (k CallKind) Advances() bool {
+	return k == CallGet || k == CallCreate || k == CallSpawn || k == CallSync
 }
 
-// classifyCall resolves a call expression against the Task API.
-func classifyCall(info *types.Info, call *ast.CallExpr) (sfCall, bool) {
+// SFCall describes one classified call.
+type SFCall struct {
+	Kind CallKind
+	// Recv is the Task-typed receiver expression (nil for GetTyped,
+	// whose task is the first argument).
+	Recv ast.Expr
+	// Handle is the future-handle argument for CallGet, nil otherwise.
+	Handle ast.Expr
+	// Fn is the closure argument for CallCreate/CallSpawn when it is a
+	// literal, nil otherwise.
+	Fn *ast.FuncLit
+}
+
+// ClassifyCall resolves a call expression against the Task API.
+func ClassifyCall(info *types.Info, call *ast.CallExpr) (SFCall, bool) {
 	// sforder.GetTyped[T](t, h): a generic package function.
 	fun := call.Fun
 	if idx, ok := fun.(*ast.IndexExpr); ok {
@@ -68,32 +83,34 @@ func classifyCall(info *types.Info, call *ast.CallExpr) (sfCall, bool) {
 	if sel, ok := fun.(*ast.SelectorExpr); ok {
 		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
 			if obj.Name() == "GetTyped" && obj.Pkg() != nil && sfPackage(obj.Pkg().Path()) && len(call.Args) == 2 {
-				return sfCall{kind: callGet, handle: call.Args[1]}, true
+				return SFCall{Kind: CallGet, Handle: call.Args[1]}, true
 			}
 			// Method call on a Task receiver.
-			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && isTaskType(sig.Recv().Type()) {
-				c := sfCall{recv: sel.X}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && IsTaskType(sig.Recv().Type()) {
+				c := SFCall{Recv: sel.X}
 				switch obj.Name() {
 				case "Get":
-					c.kind = callGet
+					c.Kind = CallGet
 					if len(call.Args) == 1 {
-						c.handle = call.Args[0]
+						c.Handle = call.Args[0]
 					}
 				case "Create":
-					c.kind = callCreate
+					c.Kind = CallCreate
 				case "Spawn":
-					c.kind = callSpawn
+					c.Kind = CallSpawn
+				case "Sync":
+					c.Kind = CallSync
 				case "Read":
-					c.kind = callRead
+					c.Kind = CallRead
 				case "Write":
-					c.kind = callWrite
+					c.Kind = CallWrite
 				default:
-					return sfCall{}, false
+					return SFCall{}, false
 				}
-				if c.kind == callCreate || c.kind == callSpawn {
+				if c.Kind == CallCreate || c.Kind == CallSpawn {
 					if len(call.Args) == 1 {
 						if lit, ok := call.Args[0].(*ast.FuncLit); ok {
-							c.fn = lit
+							c.Fn = lit
 						}
 					}
 				}
@@ -101,7 +118,7 @@ func classifyCall(info *types.Info, call *ast.CallExpr) (sfCall, bool) {
 			}
 		}
 	}
-	return sfCall{}, false
+	return SFCall{}, false
 }
 
 // handleVar resolves e to the local/parameter variable it names, when e
@@ -119,7 +136,7 @@ func handleVar(info *types.Info, e ast.Expr) *types.Var {
 		obj = info.Defs[id]
 	}
 	v, ok := obj.(*types.Var)
-	if !ok || v.IsField() || !isFutureType(v.Type()) {
+	if !ok || v.IsField() || !IsFutureType(v.Type()) {
 		return nil
 	}
 	return v
@@ -192,4 +209,19 @@ func objOf(info *types.Info, id *ast.Ident) *types.Var {
 	}
 	v, _ := obj.(*types.Var)
 	return v
+}
+
+// TaskParamOf returns fn's Task-typed parameter variable, if any. The
+// instrumenter uses it to pick the receiver for injected annotations.
+func TaskParamOf(info *types.Info, fn *ast.FuncLit) *types.Var {
+	sig, ok := info.Types[fn].Type.(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if v := sig.Params().At(i); IsTaskType(v.Type()) {
+			return v
+		}
+	}
+	return nil
 }

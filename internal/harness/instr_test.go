@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"os/exec"
+	"testing"
+
+	"sforder/internal/analysis"
+)
+
+// requireGoRun skips tests that shell out to the go toolchain when it
+// is unavailable or the run is time-constrained, and returns the module
+// root the example paths are relative to.
+func requireGoRun(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping subprocess go run in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	root, _, err := analysis.ModuleInfo(".")
+	if err != nil {
+		t.Fatalf("ModuleInfo: %v", err)
+	}
+	return root
+}
+
+// TestStaticDynamicAgreement closes the loop between the analyzer and
+// the instrumenter on examples/badfutures:
+//
+//   - sfvet statically predicts blind sharing (SF003) and sharing even
+//     sfinstr cannot surface (SF005);
+//   - the uninstrumented run confirms the blindness — silentSharing
+//     executes a real race but reports races=0;
+//   - the instrumented run confirms the SF003 prediction dynamically —
+//     the injected shadow calls make the same race visible;
+//   - the SF005 sharing (map elements) stays invisible in BOTH runs,
+//     confirming that warning marks a genuine coverage boundary.
+func TestStaticDynamicAgreement(t *testing.T) {
+	root := requireGoRun(t)
+
+	pkgs, err := analysis.Load(root, []string{"./examples/badfutures"}, false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	static := map[string]bool{}
+	for _, d := range analysis.Analyze(pkgs) {
+		static[d.Check] = true
+	}
+	for _, want := range []string{"SF003", "SF005"} {
+		if !static[want] {
+			t.Fatalf("static analysis did not predict %s on badfutures; got %v", want, static)
+		}
+	}
+
+	base, err := RunExample(root, "examples/badfutures")
+	if err != nil {
+		t.Fatalf("uninstrumented run: %v", err)
+	}
+	if n, ok := base.Races["silentSharing"]; !ok || n != 0 {
+		t.Errorf("uninstrumented silentSharing races = %d (found=%v), want 0: the detector should be blind here\n%s",
+			n, ok, base.Output)
+	}
+	if n := base.Races["uninstrumentableSharing"]; n != 0 {
+		t.Errorf("uninstrumented uninstrumentableSharing races = %d, want 0\n%s", n, base.Output)
+	}
+
+	inst, err := RunInstrumented(root, "examples/badfutures", t.TempDir())
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if n, ok := inst.Races["silentSharing"]; !ok || n < 1 {
+		t.Errorf("instrumented silentSharing races = %d (found=%v), want >=1: injected annotations should expose the SF003 race\n%s",
+			n, ok, inst.Output)
+	}
+	if n := inst.Races["uninstrumentableSharing"]; n != 0 {
+		t.Errorf("instrumented uninstrumentableSharing races = %d, want 0: map sharing is beyond sfinstr (SF005)\n%s",
+			n, inst.Output)
+	}
+}
+
+// TestInstrumentedWalkthrough runs examples/instrumented before and
+// after rewriting: the race on cells[0] appears only in the
+// instrumented run, and the disjoint cells[1] write never produces a
+// false positive (the count stays at exactly the one real race).
+func TestInstrumentedWalkthrough(t *testing.T) {
+	root := requireGoRun(t)
+
+	base, err := RunExample(root, "examples/instrumented")
+	if err != nil {
+		t.Fatalf("uninstrumented run: %v", err)
+	}
+	if n, ok := base.Races["instrumented"]; !ok || n != 0 {
+		t.Errorf("uninstrumented walkthrough races = %d (found=%v), want 0\n%s", n, ok, base.Output)
+	}
+
+	inst, err := RunInstrumented(root, "examples/instrumented", t.TempDir())
+	if err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if n, ok := inst.Races["instrumented"]; !ok || n != 1 {
+		t.Errorf("instrumented walkthrough races = %d (found=%v), want exactly 1 (cells[0]; cells[1] must not false-positive)\n%s",
+			n, ok, inst.Output)
+	}
+}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"sforder/internal/analysis"
+	"sforder/internal/instr"
+)
+
+// InstrRun captures one execution of an example package: the raw
+// combined output of the process and the race counts parsed from its
+// machine-readable "<label> races=N" lines.
+type InstrRun struct {
+	Output string
+	// Races maps the label printed before each races= figure (the
+	// example's function or program name) to the reported count.
+	Races map[string]int
+}
+
+var racesLine = regexp.MustCompile(`(?m)^(\w+) races=(\d+)`)
+
+func parseRaces(out []byte) map[string]int {
+	races := map[string]int{}
+	for _, m := range racesLine.FindAllSubmatch(out, -1) {
+		n, err := strconv.Atoi(string(m[2]))
+		if err != nil {
+			continue
+		}
+		races[string(m[1])] = n
+	}
+	return races
+}
+
+// goRun executes `go run ./<rel>` with dir as the working directory and
+// parses the races= lines from its output.
+func goRun(dir, rel string) (*InstrRun, error) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		return nil, fmt.Errorf("go toolchain not available: %w", err)
+	}
+	cmd := exec.Command(goBin, "run", "./"+filepath.ToSlash(rel))
+	cmd.Dir = dir
+	// The staged module resolves sforder through a replace directive, so
+	// the run needs no network or module cache downloads.
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go run ./%s in %s: %w\n%s", rel, dir, err, out)
+	}
+	return &InstrRun{Output: string(out), Races: parseRaces(out)}, nil
+}
+
+// RunExample builds and runs an example main package from the working
+// tree as written — the baseline the instrumented run is compared
+// against.
+func RunExample(moduleRoot, rel string) (*InstrRun, error) {
+	return goRun(moduleRoot, rel)
+}
+
+// RunInstrumented loads the main package at moduleRoot/rel, injects
+// shadow annotations with the sfinstr rewriter, stages the result as a
+// runnable module under outDir (created if needed), and executes it.
+// The staged sources are left in outDir for inspection; callers own its
+// lifetime.
+func RunInstrumented(moduleRoot, rel, outDir string) (*InstrRun, error) {
+	dir := filepath.Join(moduleRoot, rel)
+	pkgs, err := analysis.Load(dir, []string{"."}, false)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", rel, err)
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("load %s: got %d packages, want 1", rel, len(pkgs))
+	}
+	res, err := instr.Package(pkgs[0])
+	if err != nil {
+		return nil, fmt.Errorf("instrument %s: %w", rel, err)
+	}
+	modPath, err := moduleName(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	if err := instr.Stage([]*instr.Result{res}, moduleRoot, modPath, outDir); err != nil {
+		return nil, fmt.Errorf("stage %s: %w", rel, err)
+	}
+	return goRun(outDir, rel)
+}
+
+func moduleName(moduleRoot string) (string, error) {
+	_, modPath, err := analysis.ModuleInfo(moduleRoot)
+	if err != nil {
+		return "", fmt.Errorf("resolve module at %s: %w", moduleRoot, err)
+	}
+	return modPath, nil
+}

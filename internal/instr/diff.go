@@ -1,0 +1,173 @@
+package instr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diff renders a unified diff between two versions of one file, for
+// sfinstr's -diff preview mode. It is a plain LCS line diff with three
+// lines of context — the inputs are single source files, so the
+// quadratic table is fine.
+func Diff(path string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al, bl := splitLines(a), splitLines(b)
+	ops := diffOps(al, bl)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s (instrumented)\n", path, path)
+	const ctx = 3
+	for i := 0; i < len(ops); {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		// Expand a hunk around this run of changes.
+		start := i
+		end := i
+		for end < len(ops) {
+			if ops[end].kind != opEqual {
+				end++
+				continue
+			}
+			// A gap of equal lines splits hunks only when longer than
+			// twice the context.
+			gap := end
+			for gap < len(ops) && ops[gap].kind == opEqual {
+				gap++
+			}
+			if gap-end > 2*ctx && gap < len(ops) {
+				break
+			}
+			if gap == len(ops) {
+				break
+			}
+			end = gap
+		}
+		lo := start
+		for lo > 0 && start-lo < ctx && ops[lo-1].kind == opEqual {
+			lo--
+		}
+		hi := end
+		for hi < len(ops) && hi-end < ctx && ops[hi].kind == opEqual {
+			hi++
+		}
+		aStart, bStart, aN, bN := ops[lo].aLine, ops[lo].bLine, 0, 0
+		for _, op := range ops[lo:hi] {
+			if op.kind != opAdd {
+				aN++
+			}
+			if op.kind != opDelete {
+				bN++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aN, bStart+1, bN)
+		for _, op := range ops[lo:hi] {
+			switch op.kind {
+			case opEqual:
+				sb.WriteString(" " + op.text + "\n")
+			case opDelete:
+				sb.WriteString("-" + op.text + "\n")
+			case opAdd:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+		i = hi
+	}
+	return sb.String()
+}
+
+type opKind int
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opAdd
+)
+
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int
+}
+
+func splitLines(b []byte) []string {
+	s := strings.TrimSuffix(string(b), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func diffOps(a, b []string) []diffOp {
+	// Trim common prefix/suffix to keep the LCS table small.
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	am, bm := a[pre:len(a)-suf], b[pre:len(b)-suf]
+
+	// LCS lengths.
+	n, m := len(am), len(bm)
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if am[i] == bm[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+
+	var ops []diffOp
+	aLine, bLine := 0, 0
+	push := func(kind opKind, text string) {
+		ops = append(ops, diffOp{kind: kind, text: text, aLine: aLine, bLine: bLine})
+		if kind != opAdd {
+			aLine++
+		}
+		if kind != opDelete {
+			bLine++
+		}
+	}
+	for k := 0; k < pre; k++ {
+		push(opEqual, a[k])
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case am[i] == bm[j]:
+			push(opEqual, am[i])
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			push(opDelete, am[i])
+			i++
+		default:
+			push(opAdd, bm[j])
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		push(opDelete, am[i])
+	}
+	for ; j < m; j++ {
+		push(opAdd, bm[j])
+	}
+	for k := len(a) - suf; k < len(a); k++ {
+		push(opEqual, a[k])
+	}
+	return ops
+}

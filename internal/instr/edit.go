@@ -1,0 +1,115 @@
+// Package instr rewrites structured-futures Go source to inject
+// Task.Read/Task.Write shadow annotations, turning any program written
+// against the sforder API into a determinacy-race-detection workload.
+// It shares the loader, the call classifier, the strand-locality
+// pre-pass, and the attribution rules with internal/analysis: sfvet
+// warns about what this package cannot instrument (SF005), and this
+// package injects exactly the operations sfvet's model calls shared.
+//
+// The rewriter works on source bytes, not on a reprinted AST: each
+// injection is a textual insert or replace at a token offset, the edits
+// are spliced into the original file, and the result goes through
+// go/format. This keeps every user comment, build constraint, and
+// formatting choice outside the touched lines intact, and makes the
+// output gofmt-stable by construction.
+package instr
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// edit is one textual change to a file: the half-open byte range
+// [start, end) of the original source is replaced by text. start == end
+// is a pure insertion.
+type edit struct {
+	start, end int
+	text       string
+}
+
+// editSet accumulates edits against one file and applies them in one
+// pass. Overlapping replacements are a bug in the rewriter; the apply
+// step rejects them rather than emitting scrambled source.
+type editSet struct {
+	file  *token.File
+	edits []edit
+}
+
+func newEditSet(fset *token.FileSet, f *ast.File) *editSet {
+	return &editSet{file: fset.File(f.Pos())}
+}
+
+// offset converts a token.Pos in this file to a byte offset.
+func (es *editSet) offset(p token.Pos) int { return es.file.Offset(p) }
+
+// insert adds text at pos without consuming any source.
+func (es *editSet) insert(pos token.Pos, text string) {
+	o := es.offset(pos)
+	es.edits = append(es.edits, edit{start: o, end: o, text: text})
+}
+
+// replace substitutes the source range [pos, end) with text.
+func (es *editSet) replace(pos, end token.Pos, text string) {
+	es.edits = append(es.edits, edit{start: es.offset(pos), end: es.offset(end), text: text})
+}
+
+// empty reports whether no edits were recorded.
+func (es *editSet) empty() bool { return len(es.edits) == 0 }
+
+// apply splices the edits into src. Edits at the same offset keep their
+// recording order (stable sort), so a statement's annotations appear in
+// the order the rewriter emitted them.
+func (es *editSet) apply(src []byte) ([]byte, error) {
+	edits := make([]edit, len(es.edits))
+	copy(edits, es.edits)
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].start != edits[j].start {
+			return edits[i].start < edits[j].start
+		}
+		return edits[i].end < edits[j].end
+	})
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.start < last {
+			return nil, fmt.Errorf("instr: overlapping edits at byte %d (previous edit ends at %d)", e.start, last)
+		}
+		if e.start > len(src) || e.end > len(src) {
+			return nil, fmt.Errorf("instr: edit range %d:%d beyond source of %d bytes", e.start, e.end, len(src))
+		}
+		out = append(out, src[last:e.start]...)
+		out = append(out, e.text...)
+		last = e.end
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}
+
+// renderExpr returns the source text of e with any replacement edits
+// that fall inside e's range applied — after a hoist rewrote a call to
+// a temporary, annotations mentioning the surrounding expression must
+// mention the temporary too.
+func (es *editSet) renderExpr(src []byte, e ast.Expr) string {
+	start, end := es.offset(e.Pos()), es.offset(e.End())
+	var inner []edit
+	for _, ed := range es.edits {
+		if ed.start >= start && ed.end <= end && ed.start != ed.end {
+			inner = append(inner, ed)
+		}
+	}
+	sort.SliceStable(inner, func(i, j int) bool { return inner[i].start < inner[j].start })
+	var out []byte
+	last := start
+	for _, ed := range inner {
+		if ed.start < last {
+			continue
+		}
+		out = append(out, src[last:ed.start]...)
+		out = append(out, ed.text...)
+		last = ed.end
+	}
+	out = append(out, src[last:end]...)
+	return string(out)
+}

@@ -1,0 +1,169 @@
+package instr
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+
+	"sforder/internal/analysis"
+)
+
+// FileResult is the rewrite outcome for one source file.
+type FileResult struct {
+	// Path is the absolute path of the input file.
+	Path string
+	// Output is the instrumented source (gofmt-formatted); when Changed
+	// is false it is the input bytes unmodified.
+	Output  []byte
+	Changed bool
+
+	Reads  int // injected Task.Read annotations
+	Writes int // injected Task.Write annotations
+	Hoists int // temporaries introduced to keep side effects single-shot
+	Skips  []Skip
+}
+
+// Result is the rewrite outcome for one package.
+type Result struct {
+	Pkg   *analysis.Package
+	Files []FileResult
+}
+
+// Changed reports whether any file in the package was rewritten.
+func (res *Result) Changed() bool {
+	for _, f := range res.Files {
+		if f.Changed {
+			return true
+		}
+	}
+	return false
+}
+
+// Totals sums the per-file injection counts.
+func (res *Result) Totals() (reads, writes, hoists, skips int) {
+	for _, f := range res.Files {
+		reads += f.Reads
+		writes += f.Writes
+		hoists += f.Hoists
+		skips += len(f.Skips)
+	}
+	return
+}
+
+// Package instruments every file of a loaded, type-checked package and
+// returns the rewritten sources. The input files on disk are not
+// touched. Re-instrumenting an already-instrumented package is a no-op:
+// function bodies carrying the //sfinstr marker are skipped whole.
+func Package(p *analysis.Package) (*Result, error) {
+	if len(p.TypeErrors) > 0 {
+		return nil, fmt.Errorf("instr: package %s has type errors: %v", p.Path, p.TypeErrors[0])
+	}
+	res := &Result{Pkg: p}
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil {
+			return nil, fmt.Errorf("instr: no file position information for %s", p.Path)
+		}
+		src, err := os.ReadFile(tf.Name())
+		if err != nil {
+			return nil, fmt.Errorf("instr: %w", err)
+		}
+		if tf.Size() != len(src) {
+			return nil, fmt.Errorf("instr: %s changed on disk since it was parsed", tf.Name())
+		}
+		r := rewriteFile(p, f, src)
+		fr := FileResult{
+			Path:   tf.Name(),
+			Output: src,
+			Reads:  r.reads,
+			Writes: r.writes,
+			Hoists: r.hoists,
+			Skips:  r.skips,
+		}
+		if !r.es.empty() {
+			out, err := r.es.apply(src)
+			if err != nil {
+				return nil, fmt.Errorf("instr: %s: %w", tf.Name(), err)
+			}
+			formatted, err := format.Source(out)
+			if err != nil {
+				return nil, fmt.Errorf("instr: %s: rewrite produced unparsable source: %w", tf.Name(), err)
+			}
+			fr.Output = formatted
+			fr.Changed = true
+		}
+		res.Files = append(res.Files, fr)
+	}
+	return res, nil
+}
+
+// Packages instruments several packages.
+func Packages(pkgs []*analysis.Package) ([]*Result, error) {
+	var out []*Result
+	for _, p := range pkgs {
+		res, err := Package(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Overwrite writes each changed file of res back to its source path.
+func Overwrite(res *Result) error {
+	for _, f := range res.Files {
+		if !f.Changed {
+			continue
+		}
+		if err := os.WriteFile(f.Path, f.Output, 0o644); err != nil {
+			return fmt.Errorf("instr: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stage materializes instrumented packages as a standalone Go module
+// under outDir: each package's files land at their module-relative
+// location, and a generated go.mod requires the source module through a
+// local replace directive, so the staged tree builds and runs offline
+// against the working copy:
+//
+//	outDir/
+//	  go.mod                  module sfinstr.out; replace sforder => <moduleRoot>
+//	  examples/badfutures/    instrumented sources
+//
+// Staged packages may only import the source module's public API — the
+// staged module is a different module, so `internal/...` paths are off
+// limits to it, as they would be to any external consumer.
+func Stage(results []*Result, moduleRoot, modPath, outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("instr: %w", err)
+	}
+	absRoot, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return fmt.Errorf("instr: %w", err)
+	}
+	gomod := fmt.Sprintf("module sfinstr.out\n\ngo 1.22\n\nrequire %s v0.0.0\n\nreplace %s => %s\n",
+		modPath, modPath, absRoot)
+	if err := os.WriteFile(filepath.Join(outDir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return fmt.Errorf("instr: %w", err)
+	}
+	for _, res := range results {
+		rel, err := filepath.Rel(absRoot, res.Pkg.Dir)
+		if err != nil || rel == ".." || filepath.IsAbs(rel) || (len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)) {
+			return fmt.Errorf("instr: package %s is outside module root %s", res.Pkg.Dir, absRoot)
+		}
+		dest := filepath.Join(outDir, rel)
+		if err := os.MkdirAll(dest, 0o755); err != nil {
+			return fmt.Errorf("instr: %w", err)
+		}
+		for _, f := range res.Files {
+			if err := os.WriteFile(filepath.Join(dest, filepath.Base(f.Path)), f.Output, 0o644); err != nil {
+				return fmt.Errorf("instr: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package instr
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sforder/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// instrumentDir loads and instruments the single package in dir.
+func instrumentDir(t *testing.T, dir string) *Result {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, []string{"."}, false)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	res, err := Package(pkgs[0])
+	if err != nil {
+		t.Fatalf("Package: %v", err)
+	}
+	return res
+}
+
+// TestGolden instruments each fixture package and compares the output
+// against the checked-in .golden file. Regenerate with:
+//
+//	go test ./internal/instr -run TestGolden -update
+func TestGolden(t *testing.T) {
+	cases, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil || len(cases) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, dir := range cases {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			res := instrumentDir(t, dir)
+			for _, f := range res.Files {
+				golden := f.Path + ".golden"
+				if *update {
+					if err := os.WriteFile(golden, f.Output, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update): %v", err)
+				}
+				if string(want) != string(f.Output) {
+					t.Errorf("output mismatch for %s:\n%s", f.Path, Diff(f.Path, want, f.Output))
+				}
+			}
+			for _, f := range res.Files {
+				for _, s := range f.Skips {
+					t.Logf("skip: %s", s)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenNoEdit: the skips fixture is entirely uninstrumentable, and
+// a file with no annotations must come back byte-identical — the
+// rewriter makes no gratuitous edits.
+func TestGoldenNoEdit(t *testing.T) {
+	res := instrumentDir(t, filepath.Join("testdata", "src", "skips"))
+	for _, f := range res.Files {
+		if f.Changed {
+			t.Errorf("%s was edited but contains nothing instrumentable", f.Path)
+		}
+	}
+	if _, _, _, skips := res.Totals(); skips == 0 {
+		t.Errorf("skips fixture recorded no skips")
+	}
+}
+
+// TestIdempotent: instrumenting the instrumented output is a no-op.
+// The re-instrumentation staging dir must live inside this module so
+// the loader resolves the "sforder" import against the working copy.
+func TestIdempotent(t *testing.T) {
+	cases, _ := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	for _, dir := range cases {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			res := instrumentDir(t, dir)
+			tmp, err := os.MkdirTemp("testdata", "reinstr-")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { os.RemoveAll(tmp) })
+			for _, f := range res.Files {
+				if err := os.WriteFile(filepath.Join(tmp, filepath.Base(f.Path)), f.Output, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			again := instrumentDir(t, tmp)
+			for i, f := range again.Files {
+				if f.Changed {
+					t.Errorf("re-instrumentation edited %s:\n%s", f.Path,
+						Diff(f.Path, res.Files[i].Output, f.Output))
+				}
+			}
+		})
+	}
+}
+
+// TestSkipReasons pins the skip records the fixtures are built around.
+func TestSkipReasons(t *testing.T) {
+	wantReasons := map[string][]string{
+		"skips": {
+			"map element has no address",
+			"loop condition is evaluated every iteration",
+			"goroutine body is outside the task model",
+		},
+		"paths": {
+			"range element reads happen every iteration",
+		},
+	}
+	for name, wants := range wantReasons {
+		t.Run(name, func(t *testing.T) {
+			res := instrumentDir(t, filepath.Join("testdata", "src", name))
+			var all []string
+			for _, f := range res.Files {
+				for _, s := range f.Skips {
+					all = append(all, s.String())
+				}
+			}
+			joined := strings.Join(all, "\n")
+			for _, w := range wants {
+				if !strings.Contains(joined, w) {
+					t.Errorf("no skip containing %q; got:\n%s", w, joined)
+				}
+			}
+		})
+	}
+}
+
+// TestCounts pins aggregate injection counts per fixture so silent
+// coverage regressions show up as count drifts.
+func TestCounts(t *testing.T) {
+	for _, tc := range []struct {
+		name           string
+		reads, writes  int
+		hoists         int
+		wantUnchanged  bool
+		wantHoistTemps bool
+	}{
+		{name: "skips", wantUnchanged: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := instrumentDir(t, filepath.Join("testdata", "src", tc.name))
+			if tc.wantUnchanged && res.Changed() {
+				t.Errorf("expected no changes")
+			}
+		})
+	}
+
+	// The hoist fixture must introduce temporaries.
+	res := instrumentDir(t, filepath.Join("testdata", "src", "hoist"))
+	if _, _, hoists, _ := res.Totals(); hoists == 0 {
+		t.Errorf("hoist fixture produced no hoisted temporaries")
+	}
+}

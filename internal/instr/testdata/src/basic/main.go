@@ -1,0 +1,34 @@
+// Instrumenter fixture: plain shared accesses in task scopes — direct
+// writes, op-assignments, increments, reads-before-writes ordering, and
+// the before/after split around a strand-advancing Get.
+package main
+
+import (
+	"fmt"
+
+	"sforder"
+)
+
+func run() {
+	x := 0
+	y := 0
+	sum := 0
+	_, _ = sforder.Run(sforder.Config{}, func(t *sforder.Task) {
+		h := t.Create(func(c *sforder.Task) any {
+			x = 1
+			y += 2
+			return nil
+		})
+		x = 3
+		x++
+		sum = x + y
+		v := t.Get(h)
+		sum += y
+		_ = v
+		h2 := t.Create(func(c *sforder.Task) any { return x })
+		y = t.Get(h2).(int) + x
+	})
+	fmt.Println(x, y, sum)
+}
+
+func main() { run() }

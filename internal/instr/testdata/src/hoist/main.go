@@ -1,0 +1,23 @@
+// Instrumenter fixture: access paths whose base has side effects must
+// be hoisted into a temporary so the injected annotation does not
+// evaluate the side effect a second time.
+package main
+
+import "sforder"
+
+type box struct{ n int }
+
+var registry = map[string]*box{}
+
+func pick(k string) *box { return registry[k] }
+
+func hoist(t *sforder.Task, ch chan *box) {
+	h := t.Create(func(c *sforder.Task) any { return nil })
+	v := pick("a").n
+	w := (<-ch).n
+	u := pick("b").n + v + w
+	t.Get(h)
+	_, _, _ = v, w, u
+}
+
+func main() {}

@@ -1,0 +1,25 @@
+// Instrumenter fixture: the strand-locality pre-pass — operations on a
+// freshly allocated, never-escaping slice and on uncaptured locals are
+// skipped; the package-level array is annotated.
+package main
+
+import "sforder"
+
+var out [2]int
+
+func local(t *sforder.Task) {
+	buf := make([]int, 4)
+	n := 0
+	h := t.Create(func(c *sforder.Task) any {
+		out[0] = 1
+		return nil
+	})
+	for i := range buf {
+		buf[i] = i
+		n += buf[i]
+	}
+	out[1] = n
+	t.Get(h)
+}
+
+func main() {}

@@ -1,0 +1,38 @@
+// Instrumenter fixture: access paths — selector chains through
+// pointers, index expressions, range statements, loop bodies, and
+// conditions.
+package main
+
+import "sforder"
+
+type node struct {
+	val  int
+	next *node
+}
+
+type grid struct{ cells []int }
+
+func paths(t *sforder.Task, g *grid, n *node) {
+	h := t.Create(func(c *sforder.Task) any {
+		g.cells[0] = n.val
+		return nil
+	})
+	g.cells[1] = 2
+	i := 1
+	g.cells[i] = i + 1
+	n.next.val = g.cells[0]
+	t.Get(h)
+	total := 0
+	for j := 0; j < 3; j++ {
+		total += g.cells[j]
+	}
+	for _, v := range g.cells {
+		total += v
+	}
+	if total > 0 && g.cells[0] > 1 {
+		total = g.cells[1]
+	}
+	n.val = total
+}
+
+func main() {}

@@ -1,0 +1,24 @@
+// Instrumenter fixture: operations the rewriter cannot or will not
+// instrument — map elements, per-iteration loop conditions, goroutine
+// bodies. Every operation here is skipped, so the file must come back
+// byte-identical: no annotations means no edits.
+package main
+
+import "sforder"
+
+func skips(t *sforder.Task, m map[string]int, flag *bool) {
+	h := t.Create(func(c *sforder.Task) any {
+		m["a"] = 1
+		return nil
+	})
+	m["b"] = 2
+	for *flag {
+		m["c"]++
+	}
+	go func() {
+		m["d"] = 3
+	}()
+	t.Get(h)
+}
+
+func main() {}

@@ -1,0 +1,22 @@
+// Instrumenter fixture: closures whose Task parameter is unnamed or
+// blank get it named __sft so the injected annotations have a receiver.
+package main
+
+import "sforder"
+
+var shared int
+
+func rename(t *sforder.Task) {
+	h := t.Create(func(*sforder.Task) any {
+		shared = 1
+		return nil
+	})
+	h2 := t.Create(func(_ *sforder.Task) any {
+		shared = 2
+		return nil
+	})
+	t.Get(h)
+	t.Get(h2)
+}
+
+func main() {}

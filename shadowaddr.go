@@ -1,0 +1,24 @@
+package sforder
+
+import "unsafe"
+
+// ShadowAddr maps a Go pointer to the shadow-address space used by
+// Task.Read and Task.Write. It is the bridge the sfinstr rewriter
+// targets: an injected annotation reads
+//
+//	t.Read(sforder.ShadowAddr(&x))
+//
+// so the shadow cell for x is keyed by x's storage address.
+//
+// Soundness of the keying: every location sfinstr instruments is either
+// captured by a function literal or has its address taken by the
+// injected annotation itself, so the compiler's escape analysis places
+// it on the heap and the address is stable for the variable's lifetime.
+// Two simultaneously-live locations never share an address, which is
+// the only property the access history needs; reuse of an address after
+// a location dies can at worst alias two accesses that a Get already
+// ordered, never manufacture a race on memory the program cannot still
+// reach.
+func ShadowAddr[T any](p *T) uint64 {
+	return uint64(uintptr(unsafe.Pointer(p)))
+}
