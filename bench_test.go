@@ -10,6 +10,7 @@
 //	BenchmarkAblationFastPath     — ABL7: lock-avoiding access history on vs off
 //	BenchmarkAblationOMLock       — ABL8: fine-grained vs global OM locking × arenas vs heap
 //	BenchmarkAblationDeque        — ABL9: lock-free Chase–Lev scheduler vs mutex deque
+//	BenchmarkAblationReach        — ABL10: English/Hebrew OM pair vs DePa fork-path labels
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -386,6 +387,46 @@ func BenchmarkAblationDeque(b *testing.B) {
 						b.ReportMetric(float64(res.Stats["sched.parks"]), "parks")
 					})
 				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReach (ABL10): the pluggable reachability substrate
+// — the English/Hebrew OM pair against DePa fork-path labels — on three
+// paper benchmarks plus the adversarial spawn spine, reach and full
+// mode at 4 workers. om-lock-acquires is the acceptance quantity: the
+// DePa substrate must report 0 (it has no maintenance lock to take),
+// while on the spine the OM substrate pays bucket splits and top-level
+// renumberings under that lock. depa-label-bytes shows the dual cost:
+// DePa labels grow one component per spawn level, so the spine maximizes
+// label memory and compare depth while the flat benchmarks barely
+// notice.
+func BenchmarkAblationReach(b *testing.B) {
+	benches := []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.HW(4, 16, 256),
+		workload.Sort(20_000, 512),
+		workload.Spine(1500, 2),
+	}
+	for _, bench := range benches {
+		bench := bench
+		for _, mode := range []harness.Mode{harness.Reach, harness.Full} {
+			mode := mode
+			for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa} {
+				sub := sub
+				b.Run(fmt.Sprintf("%s/%s/%s", bench.Name, mode, sub), func(b *testing.B) {
+					res := measure(b, bench, harness.Config{
+						Detector: harness.SFOrder, Mode: mode, Workers: 4,
+						FastPath: mode == harness.Full, Reach: sub,
+						Registry: obsv.NewRegistry(),
+					})
+					b.ReportMetric(float64(res.ReachMem), "reach-bytes")
+					b.ReportMetric(float64(res.Stats["om.lock_acquires"]), "om-lock-acquires")
+					b.ReportMetric(float64(res.Stats["om.english.renumbers"]+res.Stats["om.hebrew.renumbers"]), "om-renumbers")
+					b.ReportMetric(float64(res.Stats["depa.label_mem_bytes"]), "depa-label-bytes")
+					b.ReportMetric(float64(res.Stats["depa.compare_words"]), "depa-compare-words")
+				})
 			}
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"os"
 	"runtime"
 
+	"sforder/internal/core"
 	"sforder/internal/detect"
 	"sforder/internal/harness"
 	"sforder/internal/obsv"
@@ -45,6 +46,7 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 		dedup     = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
 		fastpath  = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
+		reachSub  = flag.String("reach", "om", "with -bench: SF-Order reachability substrate: om (English/Hebrew lists) or depa (fork-path labels, ABL10)")
 		omglobal  = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
 		noarena   = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
 		lockdeque = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
@@ -85,6 +87,7 @@ func main() {
 			traceOut:  *traceOut,
 			dedup:     *dedup,
 			fastpath:  *fastpath,
+			reach:     *reachSub,
 			omglobal:  *omglobal,
 			noarena:   *noarena,
 			lockdeque: *lockdeque,
@@ -103,6 +106,7 @@ type oneOpts struct {
 	traceOut  string
 	dedup     bool
 	fastpath  bool
+	reach     string
 	omglobal  bool
 	noarena   bool
 	lockdeque bool
@@ -190,10 +194,15 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 	if !ok {
 		fatalf("unknown policy %q", policy)
 	}
+	sub, err := core.ParseSubstrate(obs.reach)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	cfg := harness.Config{
 		Detector:     det,
 		Mode:         md,
 		Workers:      workers,
+		Reach:        sub,
 		Serial:       det == harness.MultiBags,
 		Policy:       pol,
 		DedupByAddr:  obs.dedup,

@@ -53,6 +53,34 @@ func silentSharing() {
 	fmt.Printf("silentSharing races=%d (x=%d)\n", res.RaceCount, x)
 }
 
+// loopCondSharing hides the SF003 sharing inside a loop *condition*:
+// the future writes limit, the continuation reads it in a `for` header.
+// Loop headers are re-evaluated every iteration, which historically
+// left even the instrumented run blind — there was no legal single
+// insertion point for the read. sfinstr now rewrites the loop to
+// `for { if !cond { break } }` with the read annotated inside, so the
+// instrumented run reports the race the uninstrumented run misses.
+func loopCondSharing() {
+	limit := 3
+	n := 0
+	res, err := sforder.Run(sforder.Config{Detector: sforder.SFOrder, Serial: true},
+		func(t *sforder.Task) {
+			h := t.Create(func(c *sforder.Task) any {
+				limit = 1
+				return nil
+			})
+			for n < limit {
+				n++
+			}
+			t.Get(h)
+		})
+	if err != nil {
+		fmt.Println("loop-cond sharing error:", err)
+		return
+	}
+	fmt.Printf("loopCondSharing races=%d (n=%d)\n", res.RaceCount, n)
+}
+
 // uninstrumentableSharing shares a map between a future body and the
 // continuation (SF005): map elements have no address to take, so even
 // sfinstr cannot attribute these accesses — the sharing stays invisible
@@ -128,6 +156,7 @@ var _ = selfGet
 func main() {
 	doubleGet()
 	silentSharing()
+	loopCondSharing()
 	uninstrumentableSharing()
 	leakHandle()
 	backwardHandle()

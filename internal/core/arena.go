@@ -6,6 +6,7 @@ import (
 	"unsafe"
 
 	"sforder/internal/bitset"
+	"sforder/internal/depa"
 	"sforder/internal/om"
 )
 
@@ -104,19 +105,39 @@ func (s *metaSlab) release() {
 // shared fallback lane — used when the Reach is driven through a
 // MultiTracer or other non-lane path — is serialized by Reach.sharedMu.
 type laneAlloc struct {
-	items om.ItemArena
-	nodes nodeSlab
-	metas metaSlab
-	sets  bitset.Arena
+	items  om.ItemArena // OM substrate: dag position items
+	labels depa.Arena   // DePa substrate: fork-path labels
+	nodes  nodeSlab
+	metas  metaSlab
+	sets   bitset.Arena
 }
 
 func (a *laneAlloc) bytes() int64 {
-	return a.items.Bytes() + a.nodes.bytes.Load() + a.metas.bytes.Load() + a.sets.Bytes()
+	return a.items.Bytes() + a.labels.Bytes() +
+		a.nodes.bytes.Load() + a.metas.bytes.Load() + a.sets.Bytes()
 }
 
 func (a *laneAlloc) release() {
 	a.items.Release()
+	a.labels.Release()
 	a.nodes.release()
 	a.metas.release()
 	a.sets.Release()
+}
+
+// itemsOf and labelsOf resolve a lane's substrate arenas; both are
+// nil-safe (NoArena mode and out-of-lane callers pass a nil lane, and
+// the arenas themselves treat nil receivers as heap fallback).
+func itemsOf(a *laneAlloc) *om.ItemArena {
+	if a == nil {
+		return nil
+	}
+	return &a.items
+}
+
+func labelsOf(a *laneAlloc) *depa.Arena {
+	if a == nil {
+		return nil
+	}
+	return &a.labels
 }

@@ -35,16 +35,29 @@ import (
 	"unsafe"
 
 	"sforder/internal/bitset"
+	"sforder/internal/depa"
 	"sforder/internal/obsv"
 	"sforder/internal/om"
 	"sforder/internal/sched"
 )
 
-// node is the SF-Order per-strand state.
+// node is the SF-Order per-strand state. The first two words are the
+// substrate position, a union so the record stays at 24 bytes for both
+// backends (a size test pins it): under SubstrateOM they are the
+// English and Hebrew om.Item pointers, under SubstrateDePa p0 is the
+// fork-path label and p1 is unused. Only the substrate that wrote a
+// node ever reads its position, so the union needs no tag.
 type node struct {
-	eng, heb *om.Item    // position in the two PSP(D) orders
-	gp       *bitset.Set // future IDs F with last(F) ⇝NSP here (shared)
+	p0, p1 unsafe.Pointer
+	gp     *bitset.Set // future IDs F with last(F) ⇝NSP here (shared)
 }
+
+func (n *node) omPos() (eng, heb *om.Item) { return (*om.Item)(n.p0), (*om.Item)(n.p1) }
+func (n *node) setOM(eng, heb *om.Item) {
+	n.p0, n.p1 = unsafe.Pointer(eng), unsafe.Pointer(heb)
+}
+func (n *node) depaLabel() *depa.Label { return (*depa.Label)(n.p0) }
+func (n *node) setDepa(l *depa.Label)  { n.p0 = unsafe.Pointer(l) }
 
 // futMeta is the SF-Order per-future state.
 type futMeta struct {
@@ -52,10 +65,15 @@ type futMeta struct {
 }
 
 // Config carries the Reach ablation knobs. The zero value is the paper
-// configuration: fine-grained OM insert locking and per-worker arenas.
+// configuration: the English/Hebrew OM substrate with fine-grained
+// insert locking and per-worker arenas.
 type Config struct {
+	// Reach selects the reachability substrate: the English/Hebrew OM
+	// list pair (default) or DePa fork-path labels (ABL10).
+	Reach Substrate
 	// GlobalOMLock forces both OM lists back onto the single list-level
-	// insert lock (the pre-fine-grained behavior; ABL8).
+	// insert lock (the pre-fine-grained behavior; ABL8). Ignored by the
+	// DePa substrate, which takes no locks at all.
 	GlobalOMLock bool
 	// NoArena disables the slab arenas: every Item, node record, and
 	// bitmap allocates on the GC heap (ABL8).
@@ -69,8 +87,8 @@ type Config struct {
 // sched.Tracer (and sched.LaneTracer) to maintain its structures online
 // and serves Precedes queries from any worker concurrently.
 type Reach struct {
-	engL, hebL *om.List
-	cfg        Config
+	sub Reachability
+	cfg Config
 
 	queries  atomic.Uint64 // Precedes calls (Figure 3 "queries")
 	gpMerges atomic.Uint64 // gp allocations from divergent merges
@@ -97,11 +115,13 @@ type Reach struct {
 // New returns an empty SF-Order reachability component configured by
 // cfg, ready to be passed as the Tracer of a sched.Run.
 func New(cfg Config) *Reach {
-	newList := om.NewList
-	if cfg.GlobalOMLock {
-		newList = om.NewListGlobalLock
+	var sub Reachability
+	if cfg.Reach == SubstrateDePa {
+		sub = newDepaSub()
+	} else {
+		sub = newOMPair(cfg.GlobalOMLock)
 	}
-	r := &Reach{engL: newList(), hebL: newList(), cfg: cfg}
+	r := &Reach{sub: sub, cfg: cfg}
 	if !cfg.NoArena {
 		r.shared = new(laneAlloc)
 	}
@@ -204,14 +224,13 @@ func (r *Reach) trackSet(s *bitset.Set) *bitset.Set {
 func (r *Reach) OnRoot(root *sched.Strand) {
 	r.strands.Add(1)
 	a := r.lockShared()
-	var items *om.ItemArena
 	var nodes *nodeSlab
 	var metas *metaSlab
 	if a != nil {
-		items, nodes, metas = &a.items, &a.nodes, &a.metas
+		nodes, metas = &a.nodes, &a.metas
 	}
 	rn := nodes.get()
-	rn.eng, rn.heb = r.engL.InsertFirstArena(items), r.hebL.InsertFirstArena(items)
+	r.sub.placeRoot(a, rn)
 	root.Det = rn
 	fm := metas.get()
 	fm.cp = nil // the root has no ancestors
@@ -219,14 +238,13 @@ func (r *Reach) OnRoot(root *sched.Strand) {
 	r.unlockShared()
 }
 
-// placeBranch inserts the strands of a spawn/create event into both
-// order-maintenance lists: English order u, child, cont[, placeholder];
-// Hebrew order u, cont, child[, placeholder]. The eager placeholder
-// placement is what lets every later strand of the child's subdag land
-// inside the correct interval (§3.4 / WSP-Order). The two batch inserts
-// run back to back with nothing between them; each keeps its run
-// adjacent (see the om package comment), and no lock spans both lists —
-// English and Hebrew positions are independent.
+// placeBranch places the strands of a spawn/create event in both
+// PSP(D) orders: English order u, child, cont[, placeholder]; Hebrew
+// order u, cont, child[, placeholder]. The eager placeholder placement
+// is what lets every later strand of the child's subdag land inside
+// the correct interval (§3.4 / WSP-Order). How the positions are
+// realized — OM batch inserts or fork-path label extensions — is the
+// substrate's business.
 func (r *Reach) placeBranch(a *laneAlloc, u, child, cont, placeholder *sched.Strand) {
 	un := nodeOf(u)
 	n := 2
@@ -234,25 +252,21 @@ func (r *Reach) placeBranch(a *laneAlloc, u, child, cont, placeholder *sched.Str
 		n = 3
 	}
 	r.strands.Add(uint64(n))
-	var items *om.ItemArena
 	var nodes *nodeSlab
 	if a != nil {
-		items, nodes = &a.items, &a.nodes
+		nodes = &a.nodes
 	}
-	var engBuf, hebBuf [3]*om.Item
-	eng, heb := engBuf[:n], hebBuf[:n]
-	r.engL.InsertAfterNArena(un.eng, items, eng)
-	r.hebL.InsertAfterNArena(un.heb, items, heb)
-
 	cn := nodes.get()
-	cn.eng, cn.heb, cn.gp = eng[0], heb[1], un.gp
 	kn := nodes.get()
-	kn.eng, kn.heb, kn.gp = eng[1], heb[0], un.gp
+	var pn *node
+	if placeholder != nil {
+		pn = nodes.get()
+	}
+	r.sub.placeBranch(a, un, cn, kn, pn)
+	cn.gp, kn.gp = un.gp, un.gp
 	child.Det = cn
 	cont.Det = kn
 	if placeholder != nil {
-		pn := nodes.get()
-		pn.eng, pn.heb = eng[2], heb[2]
 		placeholder.Det = pn
 	}
 }
@@ -296,17 +310,13 @@ func (r *Reach) placeSync(a *laneAlloc, k, s *sched.Strand, childSinks []*sched.
 func (r *Reach) placeGet(a *laneAlloc, u, g *sched.Strand, f *sched.FutureTask) {
 	un := nodeOf(u)
 	r.strands.Add(1)
-	var items *om.ItemArena
 	var nodes *nodeSlab
 	var sets *bitset.Arena
 	if a != nil {
-		items, nodes, sets = &a.items, &a.nodes, &a.sets
+		nodes, sets = &a.nodes, &a.sets
 	}
 	gn := nodes.get()
-	var engBuf, hebBuf [1]*om.Item
-	r.engL.InsertAfterNArena(un.eng, items, engBuf[:])
-	r.hebL.InsertAfterNArena(un.heb, items, hebBuf[:])
-	gn.eng, gn.heb = engBuf[0], hebBuf[0]
+	r.sub.placeSerial(a, un, gn)
 	last := nodeOf(f.Last())
 	gp := bitset.UnionIn(sets, un.gp, last.gp, f.ID+1)
 	gp.Add(f.ID)
@@ -413,7 +423,7 @@ func (r *Reach) OnPut(sink *sched.Strand, f *sched.FutureTask) {}
 // psp reports u ↠ v: u reaches v in the pseudo-SP-dag, i.e. u precedes v
 // in both the English and the Hebrew order.
 func (r *Reach) psp(a, b *node) bool {
-	return r.engL.Precedes(a.eng, b.eng) && r.hebL.Precedes(a.heb, b.heb)
+	return r.sub.psp(a, b)
 }
 
 // Precedes reports whether strand u logically precedes strand v in the
@@ -446,7 +456,7 @@ func (r *Reach) Precedes(u, v *sched.Strand) bool {
 // order — used by the access history to maintain leftmost/rightmost
 // readers within one future (§3.5).
 func (r *Reach) LeftOf(a, b *sched.Strand) bool {
-	return r.engL.Precedes(nodeOf(a).eng, nodeOf(b).eng)
+	return r.sub.leftOf(nodeOf(a), nodeOf(b))
 }
 
 // Queries returns the number of Precedes calls served.
@@ -462,35 +472,25 @@ func (r *Reach) GPMerges() uint64 { return r.gpMerges.Load() }
 var nodeSize = int(unsafe.Sizeof(node{}))
 
 // MemBytes estimates the memory footprint of the reachability component:
-// both OM lists, the per-strand node records, and all gp/cp bitmaps
-// (Figure 5).
+// the substrate (OM lists or fork-path labels), the per-strand node
+// records, and all gp/cp bitmaps (Figure 5).
 func (r *Reach) MemBytes() int {
-	return r.engL.MemBytes() + r.hebL.MemBytes() +
+	return r.sub.memBytes() +
 		int(r.strands.Load())*nodeSize + int(r.setMem.Load())
 }
 
-// RegisterStats publishes the SF-Order counters (reach.*), both OM
-// lists' maintenance counters (om.english.*, om.hebrew.*), and the
-// cross-list locking/arena aggregates (om.lock_acquires,
-// om.bucket_locks, om.insert_contended, core.arena_bytes) on reg. Every
-// gauge reads atomics, so scraping never contends with a hot run.
+// RegisterStats publishes the SF-Order counters (reach.*), the
+// substrate's own counters (om.english.*/om.hebrew.*/om.* aggregates
+// for the OM pair, depa.* for fork-path labels — only the active
+// substrate's gauges exist), and core.arena_bytes on reg. Every gauge
+// reads atomics, so scraping never contends with a hot run.
 func (r *Reach) RegisterStats(reg *obsv.Registry) {
 	reg.RegisterFunc("reach.queries", func() int64 { return int64(r.queries.Load()) })
 	reg.RegisterFunc("reach.gp_merges", func() int64 { return int64(r.gpMerges.Load()) })
 	reg.RegisterFunc("reach.strands", func() int64 { return int64(r.strands.Load()) })
 	reg.RegisterFunc("reach.set_mem_bytes", func() int64 { return r.setMem.Load() })
 	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
-	r.engL.RegisterStats(reg, "om.english")
-	r.hebL.RegisterStats(reg, "om.hebrew")
-	reg.RegisterFunc("om.lock_acquires", func() int64 {
-		return r.engL.LockAcquires() + r.hebL.LockAcquires()
-	})
-	reg.RegisterFunc("om.bucket_locks", func() int64 {
-		return r.engL.BucketLocks() + r.hebL.BucketLocks()
-	})
-	reg.RegisterFunc("om.insert_contended", func() int64 {
-		return r.engL.InsertContended() + r.hebL.InsertContended()
-	})
+	r.sub.registerStats(reg)
 	reg.RegisterFunc("core.arena_bytes", r.ArenaBytes)
 }
 

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sforder/internal/core"
+	"sforder/internal/dag"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+)
+
+// runWithReachCfg is runWithReach with an explicit core.Config, for the
+// substrate (ABL10) tests.
+func runWithReachCfg(t *testing.T, cfg core.Config, workers int, serial bool, main func(*sched.Task)) (*core.Reach, *dag.Recorder) {
+	t.Helper()
+	r := core.New(cfg)
+	rec := dag.NewRecorder()
+	_, err := sched.Run(sched.Options{
+		Serial:  serial,
+		Workers: workers,
+		Tracer:  sched.MultiTracer{r, rec},
+	}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.G.Validate(); err != nil {
+		t.Fatalf("recorded dag invalid: %v", err)
+	}
+	return r, rec
+}
+
+func TestParseSubstrate(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want core.Substrate
+		err  bool
+	}{
+		{"om", core.SubstrateOM, false},
+		{"", core.SubstrateOM, false},
+		{"depa", core.SubstrateDePa, false},
+		{"interval", core.SubstrateOM, true},
+	} {
+		got, err := core.ParseSubstrate(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseSubstrate(%q) = (%v, %v), want (%v, err=%v)", c.in, got, err, c.want, c.err)
+		}
+	}
+	if core.SubstrateDePa.String() != "depa" || core.SubstrateOM.String() != "om" {
+		t.Error("Substrate.String round trip broken")
+	}
+}
+
+// TestDePaRandomProgramsSerial cross-validates the DePa substrate's
+// Precedes against the exhaustive dag closure, mirroring
+// TestRandomProgramsSerial for the OM pair.
+func TestDePaRandomProgramsSerial(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 7})
+		r, rec := runWithReachCfg(t, core.Config{Reach: core.SubstrateDePa}, 0, true, p.Main())
+		crossValidate(t, fmt.Sprintf("depa-seed%d", seed), r, rec)
+	}
+}
+
+// TestDePaRandomProgramsParallel does the same under the parallel
+// engine, where label extensions race with queries across workers.
+func TestDePaRandomProgramsParallel(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 7})
+		r, rec := runWithReachCfg(t, core.Config{Reach: core.SubstrateDePa}, 4, false, p.Main())
+		crossValidate(t, fmt.Sprintf("depa-par-seed%d", seed), r, rec)
+	}
+}
+
+// TestDePaNoArena exercises the heap-fallback label path (the -noarena
+// ablation crossed with -reach=depa).
+func TestDePaNoArena(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 3, MaxDepth: 4, MaxOps: 7})
+	r, rec := runWithReachCfg(t, core.Config{Reach: core.SubstrateDePa, NoArena: true}, 0, true, p.Main())
+	crossValidate(t, "depa-noarena", r, rec)
+}
+
+// TestSubstratesAgree pins verdict equality between the two substrates
+// directly (both also agree with the oracle above, but this catches a
+// matched pair of errors): every ordered strand pair, same program,
+// both Precedes and LeftOf.
+func TestSubstratesAgree(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8})
+		omR, omRec := runWithReachCfg(t, core.Config{}, 0, true, p.Main())
+		dpR, dpRec := runWithReachCfg(t, core.Config{Reach: core.SubstrateDePa}, 0, true, p.Main())
+		omS, dpS := omRec.Strands(), dpRec.Strands()
+		if len(omS) != len(dpS) {
+			t.Fatalf("seed %d: strand counts differ: %d vs %d", seed, len(omS), len(dpS))
+		}
+		// Serial execution is deterministic, so strand i is the same
+		// logical strand in both runs.
+		for i, u := range omS {
+			for j, v := range omS {
+				if i == j {
+					continue
+				}
+				if om, dp := omR.Precedes(u, v), dpR.Precedes(dpS[i], dpS[j]); om != dp {
+					t.Fatalf("seed %d: Precedes(%d, %d): om=%v depa=%v", seed, i, j, om, dp)
+				}
+				if om, dp := omR.LeftOf(u, v), dpR.LeftOf(dpS[i], dpS[j]); om != dp {
+					t.Fatalf("seed %d: LeftOf(%d, %d): om=%v depa=%v", seed, i, j, om, dp)
+				}
+			}
+		}
+	}
+}
+
+// TestDePaMemoryAccounted: the DePa substrate must account label bytes
+// in MemBytes the way the OM pair accounts its lists.
+func TestDePaMemoryAccounted(t *testing.T) {
+	r, _ := runWithReachCfg(t, core.Config{Reach: core.SubstrateDePa}, 0, true, func(t *sched.Task) {
+		h := t.Create(func(*sched.Task) any { return nil })
+		t.Get(h)
+	})
+	if r.MemBytes() <= 0 {
+		t.Error("DePa reachability structures must account some memory")
+	}
+}

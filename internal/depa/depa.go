@@ -1,0 +1,217 @@
+// Package depa implements DePa-style fork-path labels (Westrick,
+// Fluet, Acar: "DePa: Simple, Provably Efficient, and Practical Order
+// Maintenance for Task Parallelism"), the relabeling-free alternative
+// to the English/Hebrew order-maintenance lists of internal/om.
+//
+// Every strand carries one immutable bit-string label: the path of
+// fork decisions from the root of the spawn/create tree, one 2-bit
+// component per branch point. At a spawn the child appends Child, the
+// continuation appends Cont, and the (eagerly placed) sync placeholder
+// appends Sync; a get strand appends Child to its predecessor. Because
+// the detector anchors at most one placement batch at any strand, no
+// two strands share a label, and the lexicographic order of the labels
+// reproduces the English total order exactly — while the same
+// comparison with Child and Cont swapped reproduces the Hebrew order.
+// One comparison therefore answers both u ⊏E v and u ⊏H v, i.e. a
+// whole psp query.
+//
+// The payoff is structural: labels are assigned once and never touched
+// again, so there are no bucket splits, no renumberings, no
+// maintenance lock, and no label space to exhaust — a label just grows
+// by one component per tree level. The cost is that label length is
+// the strand's spawn depth, so comparisons are O(depth/32) words and
+// memory is O(strands × depth/32) words, which is what the ABL10
+// crossover benchmarks measure against the O(1)-per-strand OM pair.
+package depa
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Fork-path components, 2 bits each. Zero is reserved as padding so a
+// shorter label compares before every extension of it in both orders.
+const (
+	Child uint8 = 1 // spawned child / created future's first strand
+	Cont  uint8 = 2 // continuation of the forking strand
+	Sync  uint8 = 3 // eagerly placed sync placeholder of the region
+)
+
+// compsPerWord is how many 2-bit components a label word holds; the
+// first component of a label occupies the top bits of words[0].
+const compsPerWord = 32
+
+// Label is one strand's fork path, packed big-endian. Labels are
+// immutable after Extend returns them, so readers never synchronize.
+type Label struct {
+	words []uint64
+	n     uint32 // number of components
+}
+
+// Depth returns the number of components (the strand's fork depth).
+func (l *Label) Depth() int { return int(l.n) }
+
+// Words returns the packed length in 64-bit words.
+func (l *Label) Words() int { return len(l.words) }
+
+// MemBytes returns the label's footprint: header plus packed words.
+func (l *Label) MemBytes() int {
+	return int(unsafe.Sizeof(Label{})) + 8*len(l.words)
+}
+
+// NewLabel returns the empty root label, allocated from a (heap when a
+// is nil).
+func NewLabel(a *Arena) *Label {
+	return a.label()
+}
+
+// Extend returns a new label that appends component c to l. l is not
+// modified; the new label copies l's words (sharing would force the
+// last, partially filled word to be copied anyway, and whole-slab
+// recycling wants labels contiguous in their own slabs).
+func (l *Label) Extend(a *Arena, c uint8) *Label {
+	n := l.n
+	nw := int(n/compsPerWord) + 1
+	out := a.label()
+	w := a.wordSlice(nw)
+	copy(w, l.words)
+	if rem := n % compsPerWord; rem == 0 {
+		w[nw-1] = uint64(c) << 62
+	} else {
+		w[nw-1] |= uint64(c) << (62 - 2*rem)
+	}
+	out.words = w
+	out.n = n + 1
+	return out
+}
+
+// hebOrd maps a component to its rank in the Hebrew order: at a branch
+// point the continuation (and everything under it) comes before the
+// child's subtree, i.e. Child and Cont swap; Sync stays last and the
+// zero padding stays first.
+var hebOrd = [4]uint8{0, 2, 1, 3}
+
+// Rel compares two labels in both total orders at once: eng reports
+// a ⊏E b (a strictly before b in the English order) and heb reports
+// a ⊏H b. Equal labels yield false, false. cmpWords is the number of
+// words examined, the "compare depth" stat. Lock-free: labels are
+// immutable.
+func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
+	wa, wb := a.words, b.words
+	min := len(wa)
+	if len(wb) < min {
+		min = len(wb)
+	}
+	for i := 0; i < min; i++ {
+		if x := wa[i] ^ wb[i]; x != 0 {
+			// First differing component: 2-bit field j of word i.
+			sh := 62 - uint(bits.LeadingZeros64(x))&^1
+			ca := wa[i] >> sh & 3
+			cb := wb[i] >> sh & 3
+			return ca < cb, hebOrd[ca] < hebOrd[cb], i + 1
+		}
+	}
+	// All shared words equal. Components are never zero, so a strictly
+	// longer word slice extends the shorter label (which necessarily
+	// filled its last word): the shorter is a proper ancestor and comes
+	// first in both orders.
+	return len(wa) < len(wb), len(wa) < len(wb), min
+}
+
+// Arena is a slab (bump) allocator for labels and their packed words,
+// mirroring om.ItemArena so internal/core's per-worker lanes can hand
+// out DePa labels with a pointer bump and recycle them wholesale. An
+// arena is single-owner: not safe for concurrent use. A nil *Arena is
+// valid and falls back to the heap (the -noarena ablation and callers
+// without lane state).
+type Arena struct {
+	curL    *labelChunk
+	nextL   int
+	lchunks []*labelChunk
+
+	curW    *wordChunk
+	nextW   int
+	wchunks []*wordChunk
+
+	bytes atomic.Int64 // slab bytes held; atomic so gauges scrape mid-run
+}
+
+const (
+	labelChunkLen = 256  // 256 × 32 B = 8 KiB per label slab
+	wordChunkLen  = 2048 // 16 KiB of packed label words per slab
+)
+
+type labelChunk struct{ labels [labelChunkLen]Label }
+type wordChunk struct{ words [wordChunkLen]uint64 }
+
+var (
+	labelChunkPool = sync.Pool{New: func() any { return new(labelChunk) }}
+	wordChunkPool  = sync.Pool{New: func() any { return new(wordChunk) }}
+)
+
+func (a *Arena) label() *Label {
+	if a == nil {
+		return &Label{}
+	}
+	if a.curL == nil || a.nextL == labelChunkLen {
+		a.curL = labelChunkPool.Get().(*labelChunk)
+		a.lchunks = append(a.lchunks, a.curL)
+		a.nextL = 0
+		a.bytes.Add(int64(unsafe.Sizeof(labelChunk{})))
+	}
+	l := &a.curL.labels[a.nextL]
+	a.nextL++
+	*l = Label{}
+	return l
+}
+
+// wordSlice carves n words off the current slab. The caller assigns
+// every word, so recycled slabs need no zeroing. Oversized requests
+// (labels deeper than 32×wordChunkLen components) fall back to the
+// heap rather than growing the slab geometry.
+func (a *Arena) wordSlice(n int) []uint64 {
+	if a == nil || n > wordChunkLen {
+		return make([]uint64, n)
+	}
+	if a.curW == nil || a.nextW+n > wordChunkLen {
+		a.curW = wordChunkPool.Get().(*wordChunk)
+		a.wchunks = append(a.wchunks, a.curW)
+		a.nextW = 0
+		a.bytes.Add(int64(unsafe.Sizeof(wordChunk{})))
+	}
+	s := a.curW.words[a.nextW : a.nextW+n : a.nextW+n]
+	a.nextW += n
+	return s
+}
+
+// Bytes reports the slab bytes currently held by the arena.
+func (a *Arena) Bytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.bytes.Load()
+}
+
+// Release returns every slab to the shared pools for reuse by a later
+// run. The caller must guarantee no Label allocated from this arena is
+// referenced afterwards: a recycled slab will be handed out again.
+func (a *Arena) Release() {
+	if a == nil {
+		return
+	}
+	for i, c := range a.lchunks {
+		a.lchunks[i] = nil
+		labelChunkPool.Put(c)
+	}
+	a.lchunks = a.lchunks[:0]
+	for i, c := range a.wchunks {
+		a.wchunks[i] = nil
+		wordChunkPool.Put(c)
+	}
+	a.wchunks = a.wchunks[:0]
+	a.curL, a.nextL = nil, 0
+	a.curW, a.nextW = nil, 0
+	a.bytes.Store(0)
+}

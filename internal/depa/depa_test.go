@@ -1,0 +1,190 @@
+package depa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sforder/internal/depa"
+)
+
+// refLess is the reference lexicographic comparison over unpacked
+// component slices, with ord mapping components to their rank.
+func refLess(a, b []uint8, ord func(uint8) uint8) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return ord(a[i]) < ord(b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+func engOrd(c uint8) uint8 { return c }
+func hebOrd(c uint8) uint8 {
+	switch c {
+	case depa.Child:
+		return depa.Cont
+	case depa.Cont:
+		return depa.Child
+	}
+	return c
+}
+
+// build materializes a component path as a Label via Extend.
+func build(a *depa.Arena, path []uint8) *depa.Label {
+	l := depa.NewLabel(a)
+	for _, c := range path {
+		l = l.Extend(a, c)
+	}
+	return l
+}
+
+func TestRelMatchesReferenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	comps := []uint8{depa.Child, depa.Cont, depa.Sync}
+	var arena depa.Arena
+	defer arena.Release()
+	for trial := 0; trial < 2000; trial++ {
+		// Random pair, biased toward shared prefixes and word-boundary
+		// lengths so the packed edge cases (diff in a later word, full
+		// last word, proper prefix) all get exercised.
+		shared := rng.Intn(70)
+		pre := make([]uint8, shared)
+		for i := range pre {
+			pre[i] = comps[rng.Intn(3)]
+		}
+		mk := func() []uint8 {
+			tail := make([]uint8, rng.Intn(70))
+			for i := range tail {
+				tail[i] = comps[rng.Intn(3)]
+			}
+			return append(append([]uint8(nil), pre...), tail...)
+		}
+		pa, pb := mk(), mk()
+		la, lb := build(&arena, pa), build(&arena, pb)
+
+		wantEng := refLess(pa, pb, engOrd)
+		wantHeb := refLess(pa, pb, hebOrd)
+		eng, heb, _ := depa.Rel(la, lb)
+		if eng != wantEng || heb != wantHeb {
+			t.Fatalf("trial %d: Rel(%v, %v) = (%v, %v), want (%v, %v)",
+				trial, pa, pb, eng, heb, wantEng, wantHeb)
+		}
+		if la.Depth() != len(pa) || lb.Depth() != len(pb) {
+			t.Fatalf("trial %d: Depth mismatch", trial)
+		}
+	}
+}
+
+func TestRelEqualAndPrefix(t *testing.T) {
+	var a depa.Arena
+	defer a.Release()
+	root := depa.NewLabel(&a)
+	if eng, heb, _ := depa.Rel(root, root); eng || heb {
+		t.Fatal("equal labels must relate false in both orders")
+	}
+	// Proper prefix ending exactly on a word boundary (32 components).
+	p := make([]uint8, 32)
+	for i := range p {
+		p[i] = depa.Cont
+	}
+	short := build(&a, p)
+	long := short.Extend(&a, depa.Child)
+	if eng, heb, _ := depa.Rel(short, long); !eng || !heb {
+		t.Fatal("ancestor must precede descendant in both orders")
+	}
+	if eng, heb, _ := depa.Rel(long, short); eng || heb {
+		t.Fatal("descendant must not precede ancestor")
+	}
+	if eng, heb, _ := depa.Rel(root, long); !eng || !heb {
+		t.Fatal("root must precede everything")
+	}
+}
+
+// TestBranchOrders pins the spawn-point algebra the core substrate
+// relies on: English child < cont < sync, Hebrew cont < child < sync,
+// with the forker's label before all three in both.
+func TestBranchOrders(t *testing.T) {
+	var a depa.Arena
+	defer a.Release()
+	u := build(&a, []uint8{depa.Cont, depa.Child}) // arbitrary interior strand
+	child := u.Extend(&a, depa.Child)
+	cont := u.Extend(&a, depa.Cont)
+	sync := u.Extend(&a, depa.Sync)
+
+	mustRel := func(x, y *depa.Label, wantEng, wantHeb bool, what string) {
+		t.Helper()
+		eng, heb, _ := depa.Rel(x, y)
+		if eng != wantEng || heb != wantHeb {
+			t.Errorf("%s: got (%v, %v), want (%v, %v)", what, eng, heb, wantEng, wantHeb)
+		}
+	}
+	mustRel(u, child, true, true, "u before child")
+	mustRel(u, cont, true, true, "u before cont")
+	mustRel(u, sync, true, true, "u before sync")
+	mustRel(child, cont, true, false, "child/cont: English yes, Hebrew no")
+	mustRel(cont, child, false, true, "cont/child: Hebrew yes, English no")
+	mustRel(child, sync, true, true, "child before sync in both")
+	mustRel(cont, sync, true, true, "cont before sync in both")
+	// Nested: a grandchild under cont still precedes the sync in both
+	// orders and stays on its side of the child/cont divide.
+	g := cont.Extend(&a, depa.Child).Extend(&a, depa.Cont)
+	mustRel(g, sync, true, true, "cont-subtree strand before sync")
+	mustRel(child, g, true, false, "child vs cont-subtree matches child vs cont")
+}
+
+func TestDeepLabelHeapFallback(t *testing.T) {
+	var a depa.Arena
+	defer a.Release()
+	l := depa.NewLabel(&a)
+	const depth = 70000 // > 32 × wordChunkLen components, forces heap words
+	for i := 0; i < depth; i++ {
+		l = l.Extend(&a, depa.Cont)
+	}
+	if l.Depth() != depth {
+		t.Fatalf("depth = %d, want %d", l.Depth(), depth)
+	}
+	if l.Words() != (depth+31)/32 {
+		t.Fatalf("words = %d, want %d", l.Words(), (depth+31)/32)
+	}
+	parent := build(&a, []uint8{depa.Cont})
+	if eng, heb, w := depa.Rel(parent, l); !eng || !heb || w != 1 {
+		t.Fatalf("shallow ancestor vs deep label: (%v, %v, %d)", eng, heb, w)
+	}
+	sib := parent.Extend(&a, depa.Child)
+	if eng, heb, _ := depa.Rel(sib, l); !eng || heb {
+		t.Fatal("deep cont-path strand must be English-after/Hebrew-before the child")
+	}
+}
+
+func TestArenaRecycle(t *testing.T) {
+	var a depa.Arena
+	l := build(&a, []uint8{depa.Child, depa.Sync})
+	if a.Bytes() == 0 {
+		t.Fatal("arena reported zero bytes after allocations")
+	}
+	_ = l
+	a.Release()
+	if a.Bytes() != 0 {
+		t.Fatal("Release must zero the byte count")
+	}
+	// Reuse after release must hand out valid labels again.
+	l2 := build(&a, []uint8{depa.Cont})
+	if l2.Depth() != 1 {
+		t.Fatal("arena unusable after Release")
+	}
+}
+
+func TestNilArenaHeapFallback(t *testing.T) {
+	l := build(nil, []uint8{depa.Child, depa.Cont, depa.Sync})
+	if l.Depth() != 3 {
+		t.Fatal("nil-arena labels must work")
+	}
+	if (*depa.Arena)(nil).Bytes() != 0 {
+		t.Fatal("nil arena bytes")
+	}
+	(*depa.Arena)(nil).Release()
+}

@@ -1,0 +1,116 @@
+package detect_test
+
+import (
+	"testing"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/harness"
+	"sforder/internal/obsv"
+	"sforder/internal/progen"
+	"sforder/internal/sched"
+	"sforder/internal/workload"
+)
+
+// TestReachSubstrateMatchesOracleFuzz is the ABL10 fuzz: on random
+// programs, the racy-location set under the DePa fork-path substrate
+// must be identical to both the OM substrate's and the exhaustive dag
+// oracle's, across both shadow backends (serial engine).
+func TestReachSubstrateMatchesOracleFuzz(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		want := runOracle(t, p)
+		for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa} {
+			for _, backend := range []detect.Backend{detect.BackendShardedMap, detect.BackendTwoLevel} {
+				got := runRacyCfg(t, p, core.Config{Reach: sub}, detect.Options{Backend: backend, FastPath: true})
+				if !sameAddrs(got, want) {
+					t.Fatalf("seed %d reach=%v backend %v: got %v, oracle %v",
+						seed, sub, backend, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReachSubstrateParallelAgreement runs random programs on the
+// parallel engine (4 workers, lane arenas active) under both substrates
+// — with and without arenas — and compares the racy set to the serial
+// oracle. Repeats catch schedule-dependent misbehavior; under -race
+// this doubles as the label-publication race check.
+func TestReachSubstrateParallelAgreement(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
+		want := runOracle(t, p)
+		for _, ccfg := range []core.Config{
+			{Reach: core.SubstrateDePa},
+			{Reach: core.SubstrateDePa, NoArena: true},
+			{Reach: core.SubstrateOM},
+		} {
+			for rep := 0; rep < 2; rep++ {
+				reach := core.New(ccfg)
+				hist := detect.NewHistory(detect.Options{Reach: reach, FastPath: true})
+				if _, err := sched.Run(sched.Options{Workers: 4, Tracer: reach, Checker: hist}, p.Main()); err != nil {
+					t.Fatal(err)
+				}
+				if got := hist.RacyAddrs(); !sameAddrs(got, want) {
+					t.Fatalf("seed %d cfg %+v rep %d: parallel %v, oracle %v",
+						seed, ccfg, rep, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReachSubstrateAdversarialSpine pins the ABL10 claim on the
+// renumber-heavy adversarial spawn spine: the OM substrate must visibly
+// pay for the pattern — bucket splits plus top-level renumberings, all
+// under the maintenance lock — while the DePa substrate completes the
+// identical run with zero maintenance-lock acquisitions (its gauges do
+// not even exist) and deep labels instead.
+func TestReachSubstrateAdversarialSpine(t *testing.T) {
+	const depth = 1500
+	run := func(sub core.Substrate) map[string]int64 {
+		t.Helper()
+		reg := obsv.NewRegistry()
+		res, err := harness.Run(workload.Spine(depth, 2), harness.Config{
+			Detector: harness.SFOrder,
+			Mode:     harness.Full,
+			Workers:  4,
+			FastPath: true,
+			Reach:    sub,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Races != 0 {
+			t.Fatalf("spine is race-free, %v reported %d races", sub, res.Races)
+		}
+		return res.Stats
+	}
+
+	om := run(core.SubstrateOM)
+	if splits := om["om.english.splits"] + om["om.hebrew.splits"]; splits == 0 {
+		t.Error("spine must force OM bucket splits")
+	}
+	if renum := om["om.english.renumbers"] + om["om.hebrew.renumbers"]; renum == 0 {
+		t.Error("spine must force OM top-level renumberings")
+	}
+	if om["om.lock_acquires"] == 0 {
+		t.Error("OM maintenance work must take the maintenance lock")
+	}
+
+	depa := run(core.SubstrateDePa)
+	if got := depa["om.lock_acquires"]; got != 0 {
+		t.Errorf("DePa substrate took %d maintenance-lock acquisitions, want 0", got)
+	}
+	if got := depa["om.english.splits"] + depa["om.hebrew.splits"]; got != 0 {
+		t.Errorf("DePa substrate reported %d OM splits, want 0", got)
+	}
+	if depa["depa.labels"] == 0 || depa["depa.label_mem_bytes"] == 0 {
+		t.Error("DePa substrate must account its labels")
+	}
+	if maxd := depa["depa.max_depth"]; maxd < depth {
+		t.Errorf("depa.max_depth = %d, want >= spine depth %d", maxd, depth)
+	}
+}

@@ -376,6 +376,13 @@ func (r *Reach) RegisterStats(reg *obsv.Registry) {
 	reg.RegisterFunc("om.splits", sum(func(s, _, _ int) int { return s }))
 	reg.RegisterFunc("om.relabels", sum(func(_, rl, _ int) int { return rl }))
 	reg.RegisterFunc("om.renumbers", sum(func(_, _, rn int) int { return rn }))
+	reg.RegisterFunc("om.escalations", func() int64 {
+		var total int64
+		for _, l := range r.lists() {
+			total += l.Escalations()
+		}
+		return total
+	})
 }
 
 var _ sched.Tracer = (*Reach)(nil)

@@ -100,9 +100,12 @@ type Config struct {
 	FastPath bool
 	// DedupByAddr keeps at most one detailed race record per address.
 	DedupByAddr bool
+	// Reach selects SF-Order's reachability substrate: the OM list
+	// pair (default) or DePa fork-path labels (ABL10).
+	Reach core.Substrate
 	// OMGlobalLock forces SF-Order's order-maintenance lists back onto
 	// the single list-level insert lock instead of fine-grained bucket
-	// locking (ABL8).
+	// locking (ABL8). Ignored by the DePa substrate.
 	OMGlobalLock bool
 	// NoArena disables SF-Order's per-worker slab arenas; dag-event
 	// records allocate on the GC heap (ABL8).
@@ -161,6 +164,7 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 		switch cfg.Detector {
 		case SFOrder:
 			sf := core.New(core.Config{
+				Reach:        cfg.Reach,
 				GlobalOMLock: cfg.OMGlobalLock,
 				NoArena:      cfg.NoArena,
 			})

@@ -33,7 +33,9 @@ func requireGoRun(t *testing.T) string {
 //   - the uninstrumented run confirms the blindness — silentSharing
 //     executes a real race but reports races=0;
 //   - the instrumented run confirms the SF003 prediction dynamically —
-//     the injected shadow calls make the same race visible;
+//     the injected shadow calls make the same race visible, including
+//     the loopCondSharing race that hides in a re-evaluated `for`
+//     header and needs the guarded-break loop rewrite to surface;
 //   - the SF005 sharing (map elements) stays invisible in BOTH runs,
 //     confirming that warning marks a genuine coverage boundary.
 func TestStaticDynamicAgreement(t *testing.T) {
@@ -64,6 +66,10 @@ func TestStaticDynamicAgreement(t *testing.T) {
 	if n := base.Races["uninstrumentableSharing"]; n != 0 {
 		t.Errorf("uninstrumented uninstrumentableSharing races = %d, want 0\n%s", n, base.Output)
 	}
+	if n, ok := base.Races["loopCondSharing"]; !ok || n != 0 {
+		t.Errorf("uninstrumented loopCondSharing races = %d (found=%v), want 0: the detector should be blind here\n%s",
+			n, ok, base.Output)
+	}
 
 	inst, err := RunInstrumented(root, "examples/badfutures", t.TempDir())
 	if err != nil {
@@ -76,6 +82,10 @@ func TestStaticDynamicAgreement(t *testing.T) {
 	if n := inst.Races["uninstrumentableSharing"]; n != 0 {
 		t.Errorf("instrumented uninstrumentableSharing races = %d, want 0: map sharing is beyond sfinstr (SF005)\n%s",
 			n, inst.Output)
+	}
+	if n, ok := inst.Races["loopCondSharing"]; !ok || n < 1 {
+		t.Errorf("instrumented loopCondSharing races = %d (found=%v), want >=1: the loop-condition rewrite should expose the race\n%s",
+			n, ok, inst.Output)
 	}
 }
 

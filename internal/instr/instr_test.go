@@ -115,7 +115,7 @@ func TestSkipReasons(t *testing.T) {
 	wantReasons := map[string][]string{
 		"skips": {
 			"map element has no address",
-			"loop condition is evaluated every iteration",
+			"loop condition advances the strand",
 			"goroutine body is outside the task model",
 		},
 		"paths": {

@@ -390,7 +390,7 @@ func (r *fileRewriter) stmt(s ast.Stmt, sc scope, anchor token.Pos, canBefore bo
 		if x.Init != nil {
 			r.simple(x.Init, sc, anchor, canBefore, token.NoPos, false)
 		}
-		r.condReads(x.Cond, sc, token.NoPos, false, "loop condition is evaluated every iteration; not instrumented")
+		r.loopCond(x, sc)
 		if x.Post != nil {
 			r.dropShared(x.Post, "loop post statement is evaluated every iteration; not instrumented")
 		}
@@ -526,6 +526,50 @@ func (r *fileRewriter) condReads(e ast.Expr, sc scope, anchor token.Pos, ok bool
 	var reads []ast.Expr
 	r.collectReads(e, &reads)
 	r.emit(e, sc, place{anchor: anchor, canBefore: ok, beforeReason: reason}, reads, nil)
+}
+
+// loopCond instruments the condition of a `for cond`/`for init; cond;
+// post` loop. The header is re-evaluated every iteration, so a single
+// annotation before the loop would under-report; instead the condition
+// moves into the body as a guarded break —
+//
+//	for i := 0; ; i++ {
+//		t.Read(sforder.ShadowAddr(&limit)) //sfinstr
+//		if !(i < limit) {
+//			break
+//		} //sfinstr
+//		...
+//	}
+//
+// which preserves semantics exactly (`continue` still runs the post
+// statement before the next evaluation) and gives every conditional
+// read a legal per-iteration insertion point. Conditions that advance
+// the strand cannot move — the advance count per iteration is part of
+// the program being checked — and keep the skip behavior. Hoisting is
+// disabled (place.noHoist): a hoist would rewrite a sub-range of the
+// condition this method is about to delete from the header, and the
+// two replacements would overlap.
+func (r *fileRewriter) loopCond(x *ast.ForStmt, sc scope) {
+	if x.Cond == nil {
+		return
+	}
+	if len(r.advancingCalls(x.Cond)) > 0 {
+		r.dropSharedExpr(x.Cond, "loop condition advances the strand; not instrumented")
+		return
+	}
+	var reads []ast.Expr
+	r.collectReads(x.Cond, &reads)
+	bodyStart := x.Body.Lbrace + 1
+	before := r.reads + r.writes
+	r.emit(x.Cond, sc, place{anchor: bodyStart, canBefore: true, noHoist: true}, reads, nil)
+	if r.reads+r.writes == before {
+		return // nothing annotated: leave the header alone
+	}
+	// The annotations above were recorded at bodyStart first, so they
+	// land ahead of the guard (same-offset edits keep recording order).
+	cond := r.es.renderExpr(r.src, x.Cond)
+	r.es.insert(bodyStart, fmt.Sprintf("if !(%s) {\nbreak\n} %s\n", cond, marker))
+	r.es.replace(x.Cond.Pos(), x.Cond.End(), "")
 }
 
 // dropShared records skips for every shared attributable operation in a
@@ -752,6 +796,7 @@ type place struct {
 	beforeReason string
 	afterPos     token.Pos // NoPos: post-statement placement impossible
 	afterInline  bool      // afterPos is the next statement (text\n) vs the stmt end (\ntext\n)
+	noHoist      bool      // hoisting is off: the statement text itself is about to be rewritten
 }
 
 type pending struct {
@@ -914,7 +959,7 @@ func (r *fileRewriter) hoistOrDrop(sc scope, pl place, pend []pending, stmtImp [
 			keep = append(keep, p)
 			continue
 		}
-		ok := pl.canBefore && !p.after && len(imp) == len(stmtImp)
+		ok := pl.canBefore && !pl.noHoist && !p.after && len(imp) == len(stmtImp)
 		if ok {
 			for _, q := range pend {
 				if q.e != p.e && q.e.Pos() < p.e.Pos() {

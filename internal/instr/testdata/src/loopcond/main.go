@@ -1,0 +1,36 @@
+// Instrumenter fixture: shared reads inside `for` conditions. The
+// header is re-evaluated every iteration, so the rewriter moves each
+// condition into the body as a guarded break and annotates its reads
+// at the new per-iteration insertion point.
+package main
+
+import (
+	"fmt"
+
+	"sforder"
+)
+
+func run() {
+	n := 0
+	limit := 10
+	done := false
+	_, _ = sforder.Run(sforder.Config{}, func(t *sforder.Task) {
+		h := t.Create(func(c *sforder.Task) any {
+			limit = 5
+			return nil
+		})
+		for n < limit {
+			n++
+		}
+		t.Get(h)
+		for i := 0; i < limit; i++ {
+			n += i
+		}
+		for !done {
+			done = true
+		}
+	})
+	fmt.Println(n, limit, done)
+}
+
+func main() { run() }

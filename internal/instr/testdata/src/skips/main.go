@@ -1,7 +1,7 @@
 // Instrumenter fixture: operations the rewriter cannot or will not
-// instrument — map elements, per-iteration loop conditions, goroutine
-// bodies. Every operation here is skipped, so the file must come back
-// byte-identical: no annotations means no edits.
+// instrument — map elements, loop conditions that advance the strand,
+// goroutine bodies. Every operation here is skipped, so the file must
+// come back byte-identical: no annotations means no edits.
 package main
 
 import "sforder"
@@ -12,7 +12,7 @@ func skips(t *sforder.Task, m map[string]int, flag *bool) {
 		return nil
 	})
 	m["b"] = 2
-	for *flag {
+	for *flag && t.Get(h) == nil {
 		m["c"]++
 	}
 	go func() {

@@ -2,3 +2,15 @@ package om
 
 // CheckInvariants exposes the internal consistency checker to tests.
 func (l *List) CheckInvariants() error { return l.checkInvariants() }
+
+// SetLabelSpaceForTest shrinks the top-level label space so tests can
+// drive exhaustion and escalation with thousands of inserts instead of
+// the ~2^61 buckets the production constants would require. Must be
+// called before the first insert.
+func (l *List) SetLabelSpaceForTest(soft, hard uint64) {
+	l.maint.Lock()
+	defer l.maint.Unlock()
+	l.softBound = soft
+	l.hardBound = hard
+	l.bound = soft
+}

@@ -64,8 +64,16 @@ const (
 	// itemSpan is the spacing used when a bucket's items are relabeled
 	// evenly. bucketCap*itemSpan must not overflow uint64.
 	itemSpan = uint64(1) << 56
-	// topSpace is the exclusive upper bound of top-level (bucket) labels.
+	// topSpace is the preferred exclusive upper bound of top-level
+	// (bucket) labels. Renumberings normally spread buckets inside it.
 	topSpace = uint64(1) << 62
+	// topSpaceMax is the hard ceiling an escalated global renumbering
+	// widens the top-level label space to when even a global spread
+	// across topSpace cannot open gaps (adversarial dense-insert
+	// patterns). Reaching a state where topSpaceMax itself is too small
+	// would require 2^62 buckets — more memory than any machine has — so
+	// escalation makes label exhaustion structurally unreachable.
+	topSpaceMax = uint64(1) << 63
 )
 
 // Item is a position in a List. Items are created by the List insert
@@ -104,9 +112,18 @@ type List struct {
 	size    atomic.Int64
 	buckets atomic.Int64
 
-	splits    atomic.Int64 // bucket splits
-	relabels  atomic.Int64 // bucket-internal relabelings
-	renumbers atomic.Int64 // top-level renumberings (local or global)
+	splits      atomic.Int64 // bucket splits
+	relabels    atomic.Int64 // bucket-internal relabelings
+	renumbers   atomic.Int64 // top-level renumberings (local or global)
+	escalations atomic.Int64 // escalated global renumbers (bound widened)
+
+	// bound is the current exclusive upper bound for top-level labels:
+	// softBound until an escalated global renumbering widens it to
+	// hardBound. All three are read and written under maint only; tests
+	// shrink them (SetLabelSpaceForTest) to drive exhaustion cheaply.
+	bound     uint64
+	softBound uint64
+	hardBound uint64
 
 	maintLocks  atomic.Int64 // insert-path maintenance-lock acquisitions
 	bucketLocks atomic.Int64 // fast-path bucket-lock acquisitions
@@ -119,12 +136,18 @@ type List struct {
 
 // NewList returns an empty list with fine-grained (per-bucket) insert
 // locking.
-func NewList() *List { return &List{} }
+func NewList() *List {
+	return &List{bound: topSpace, softBound: topSpace, hardBound: topSpaceMax}
+}
 
 // NewListGlobalLock returns an empty list whose inserts all serialize on
 // the single list-level lock — the behavior before fine-grained locking.
 // Used by the ABL8 ablation and A/B tests only.
-func NewListGlobalLock() *List { return &List{global: true} }
+func NewListGlobalLock() *List {
+	l := NewList()
+	l.global = true
+	return l
+}
 
 // Len returns the number of items in the list.
 func (l *List) Len() int { return int(l.size.Load()) }
@@ -135,6 +158,11 @@ func (l *List) Len() int { return int(l.size.Load()) }
 func (l *List) Stats() (splits, relabels, renumbers int) {
 	return int(l.splits.Load()), int(l.relabels.Load()), int(l.renumbers.Load())
 }
+
+// Escalations returns how many global renumberings had to widen the
+// top-level label space to the hard ceiling — the graceful replacement
+// for the former "label space exhausted" panic. Lock-free.
+func (l *List) Escalations() int64 { return l.escalations.Load() }
 
 // LockAcquires returns the number of insert-path acquisitions of the
 // list-level maintenance lock: every insert in global mode, only
@@ -157,6 +185,7 @@ func (l *List) RegisterStats(r *obsv.Registry, prefix string) {
 	r.RegisterFunc(prefix+".splits", func() int64 { return l.splits.Load() })
 	r.RegisterFunc(prefix+".relabels", func() int64 { return l.relabels.Load() })
 	r.RegisterFunc(prefix+".renumbers", func() int64 { return l.renumbers.Load() })
+	r.RegisterFunc(prefix+".escalations", func() int64 { return l.escalations.Load() })
 	r.RegisterFunc(prefix+".items", func() int64 { return l.size.Load() })
 	r.RegisterFunc(prefix+".mem_bytes", func() int64 { return int64(l.MemBytes()) })
 	r.RegisterFunc(prefix+".lock_acquires", l.LockAcquires)
@@ -195,7 +224,7 @@ func (l *List) InsertFirstArena(a *ItemArena) *Item {
 		panic("om: InsertFirst on non-empty list")
 	}
 	b := newBucket()
-	b.label.Store(topSpace / 2)
+	b.label.Store(l.bound / 2)
 	l.head, l.tail = b, b
 	l.buckets.Store(1)
 	it := a.get()
@@ -461,7 +490,7 @@ func relabelItems(b *bucket) {
 // so no bucket locks are needed beyond the split's own.
 func (l *List) assignTopLabel(nb *bucket) {
 	lo := nb.prev.label.Load()
-	hi := topSpace
+	hi := l.bound
 	if nb.next != nil {
 		hi = nb.next.label.Load()
 	}
@@ -471,7 +500,7 @@ func (l *List) assignTopLabel(nb *bucket) {
 	}
 	l.renumberAround(nb.prev)
 	lo = nb.prev.label.Load()
-	hi = topSpace
+	hi = l.bound
 	if nb.next != nil {
 		hi = nb.next.label.Load()
 	}
@@ -485,15 +514,22 @@ func (l *List) assignTopLabel(nb *bucket) {
 // labeling rebalance): find the smallest power-of-two label range around
 // pivot whose occupancy is at most half its capacity, then spread the
 // buckets in that range evenly across it. Falls back to a global
-// renumbering across the whole label space.
+// renumbering across the whole label space; when even that cannot open
+// gaps — every label in [0, bound) is packed — it escalates by widening
+// the bound to the hard ceiling and spreading across the widened space
+// instead of giving up. (Until PR 7 this last case was a
+// `panic("om: label space exhausted")`.) The caller holds l.maint and
+// has already entered the seqlock write section, so concurrent Precedes
+// readers re-validate against the rewritten labels exactly as for any
+// other renumbering.
 func (l *List) renumberAround(pivot *bucket) {
 	l.renumbers.Add(1)
 	p := pivot.label.Load()
-	for j := uint(2); j < 62; j++ {
+	for j := uint(2); j < 63; j++ {
 		width := uint64(1) << j
 		lo := p &^ (width - 1)
 		hi := lo + width
-		if hi > topSpace {
+		if hi > l.bound {
 			break
 		}
 		// Collect the contiguous run of buckets whose labels lie in
@@ -520,14 +556,26 @@ func (l *List) renumberAround(pivot *bucket) {
 			}
 		}
 	}
-	// Global renumber: spread every bucket across [gap, topSpace).
+	// Global renumber: spread every bucket across [gap, l.bound).
 	n := 0
 	for b := l.head; b != nil; b = b.next {
 		n++
 	}
-	gap := topSpace / uint64(n+1)
+	gap := l.bound / uint64(n+1)
+	if gap < 2 && l.bound < l.hardBound {
+		// Escalated global renumber: the configured space is packed past
+		// half occupancy everywhere. Widen the bound to the hard ceiling
+		// — labels are ordinals, not addresses, so nothing but this
+		// renumbering has to know — and spread across the wider space.
+		l.escalations.Add(1)
+		l.renumbers.Add(1)
+		l.bound = l.hardBound
+		gap = l.bound / uint64(n+1)
+	}
 	if gap < 2 {
-		panic("om: label space exhausted")
+		// n+1 > hardBound/2 = 2^62 buckets: structurally unreachable
+		// (each bucket holds ≥ bucketCap/2 items and hundreds of bytes).
+		panic("om: top-level label space exhausted beyond the hard ceiling")
 	}
 	lab := gap
 	for b := l.head; b != nil; b = b.next {

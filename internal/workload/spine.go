@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+
+	"sforder/internal/sched"
+)
+
+// Spine returns the ABL10 adversarial microbenchmark: a spawn spine of
+// the given depth where every spawned child immediately spawns again
+// before syncing, with `work` instrumented reads per strand. Every
+// spawn batch lands immediately after the previous child in both OM
+// orders, so the whole run hammers one interior point of each list:
+// label gaps halve level after level, forcing bucket splits and
+// top-level renumberings under the OM maintenance lock — the pattern
+// that used to drive the list toward label exhaustion. The DePa
+// substrate pays the dual cost instead: labels grow one component per
+// level, so the spine maximizes label length (depth/32 words per
+// comparison) while taking zero maintenance locks. The ABL10 crossover
+// table in EXPERIMENTS.md runs exactly this shape against mm/hw/sort.
+func Spine(depth, work int) *Benchmark {
+	if depth < 1 || work < 1 {
+		panic(fmt.Sprintf("workload: Spine bad params depth=%d work=%d", depth, work))
+	}
+	return &Benchmark{
+		Name: "spine",
+		Desc: "nested spawn spine (OM renumber / DePa label-depth adversary)",
+		N:    depth,
+		B:    work,
+		Make: func() *Run { return newSpineRun(depth, work) },
+	}
+}
+
+func newSpineRun(depth, work int) *Run {
+	got := 0
+	var descend func(t *sched.Task, d int) int
+	descend = func(t *sched.Task, d int) int {
+		for i := 0; i < work; i++ {
+			t.Read(uint64(d)) // race-free: strands touching d are chained
+		}
+		if d == 0 {
+			t.Write(uint64(depth + 1))
+			return 1
+		}
+		var sub int
+		t.Spawn(func(c *sched.Task) { sub = descend(c, d-1) })
+		t.Sync()
+		t.Read(uint64(d))
+		return sub + 1
+	}
+	return &Run{
+		Main: func(t *sched.Task) { got = descend(t, depth) },
+		Verify: func() error {
+			if want := depth + 1; got != want {
+				return fmt.Errorf("spine: got %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}

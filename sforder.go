@@ -108,6 +108,28 @@ func (d Detector) String() string {
 	}
 }
 
+// ReachBackend selects the reachability substrate of the SFOrder
+// detector (the -reach flag of cmd/sforder). Other detectors ignore it.
+type ReachBackend int
+
+const (
+	// ReachOM (default) is the paper's English/Hebrew order-maintenance
+	// list pair: O(1) amortized labels, maintenance lock at splits and
+	// renumberings.
+	ReachOM ReachBackend = iota
+	// ReachDePa uses immutable DePa-style fork-path labels: no
+	// relabeling and no maintenance lock, at O(spawn-depth/32) words
+	// per order comparison (ABL10).
+	ReachDePa
+)
+
+func (b ReachBackend) String() string {
+	if b == ReachDePa {
+		return "depa"
+	}
+	return "om"
+}
+
 // ReaderPolicy selects how many previous readers the access history
 // keeps per location.
 type ReaderPolicy = detect.ReaderPolicy
@@ -181,6 +203,9 @@ type Config struct {
 	CheckStructure bool
 	// Backend selects the shadow-table layout for full detection.
 	Backend Backend
+	// Reach selects the SFOrder reachability substrate: the OM list
+	// pair (default) or DePa fork-path labels.
+	Reach ReachBackend
 }
 
 // Backend selects the shadow-memory layout of the access history.
@@ -236,7 +261,11 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 	var leftOf func(a, b *sched.Strand) bool
 	switch cfg.Detector {
 	case SFOrder:
-		sf := core.NewReach()
+		ccfg := core.Config{}
+		if cfg.Reach == ReachDePa {
+			ccfg.Reach = core.SubstrateDePa
+		}
+		sf := core.New(ccfg)
 		reach, leftOf = sf, sf.LeftOf
 	case FOrder:
 		reach = forder.NewReach()
