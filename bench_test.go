@@ -11,6 +11,7 @@
 //	BenchmarkAblationOMLock       — ABL8: fine-grained vs global OM locking × arenas vs heap
 //	BenchmarkAblationDeque        — ABL9: lock-free Chase–Lev scheduler vs mutex deque
 //	BenchmarkAblationReach        — ABL10: English/Hebrew OM pair vs DePa fork-path labels
+//	BenchmarkAblationHybrid       — ABL11: prefix-sharing cords vs OM vs hybrid, worker scaling
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -413,7 +414,7 @@ func BenchmarkAblationReach(b *testing.B) {
 		bench := bench
 		for _, mode := range []harness.Mode{harness.Reach, harness.Full} {
 			mode := mode
-			for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa} {
+			for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa, core.SubstrateHybrid} {
 				sub := sub
 				b.Run(fmt.Sprintf("%s/%s/%s", bench.Name, mode, sub), func(b *testing.B) {
 					res := measure(b, bench, harness.Config{
@@ -426,6 +427,46 @@ func BenchmarkAblationReach(b *testing.B) {
 					b.ReportMetric(float64(res.Stats["om.english.renumbers"]+res.Stats["om.hebrew.renumbers"]), "om-renumbers")
 					b.ReportMetric(float64(res.Stats["depa.label_mem_bytes"]), "depa-label-bytes")
 					b.ReportMetric(float64(res.Stats["depa.compare_words"]), "depa-compare-words")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHybrid (ABL11): the prefix-sharing cord labels and
+// the depth-adaptive hybrid against the OM pair, full mode, across a
+// worker-count scaling axis (1/2/4/8). The workload set adds pipeline —
+// the Herlihy & Liu long-future-chain shape — whose labels run deeper
+// than any paper benchmark's; depa-label-bytes is O(strands) under
+// cords where the PR 7 flat labels paid O(strands × depth) words, and
+// depa-compare-words stays within a word or two of one compare per
+// query on the spine thanks to the LCA skip. The hybrid column shows
+// the flat fast path's overhead is bounded by the threshold: its extra
+// bytes over depa are the ≤ DefaultHybridDepth shallow flat copies.
+func BenchmarkAblationHybrid(b *testing.B) {
+	benches := []*workload.Benchmark{
+		workload.MM(64, 16),
+		workload.HW(4, 16, 256),
+		workload.Sort(20_000, 512),
+		workload.Spine(1500, 2),
+		workload.Pipeline(200, 8, 4),
+	}
+	for _, bench := range benches {
+		bench := bench
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa, core.SubstrateHybrid} {
+				sub := sub
+				b.Run(fmt.Sprintf("%s/w%d/%s", bench.Name, workers, sub), func(b *testing.B) {
+					res := measure(b, bench, harness.Config{
+						Detector: harness.SFOrder, Mode: harness.Full, Workers: workers,
+						FastPath: true, Reach: sub,
+						Registry: obsv.NewRegistry(),
+					})
+					b.ReportMetric(float64(res.ReachMem), "reach-bytes")
+					b.ReportMetric(float64(res.Stats["depa.label_mem_bytes"]), "depa-label-bytes")
+					b.ReportMetric(float64(res.Stats["depa.compare_words"]), "depa-compare-words")
+					b.ReportMetric(float64(res.Stats["depa.flat_compares"]), "depa-flat-compares")
 				})
 			}
 		}

@@ -36,7 +36,7 @@ func main() {
 		scale     = flag.String("scale", "bench", "input scale: test, bench, large")
 		workers   = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
 		repeats   = flag.Int("repeats", 1, "best-of-N timing repeats")
-		bench     = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret")
+		bench     = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret, spine, pipeline")
 		detector  = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
 		mode      = flag.String("mode", "full", "mode for -bench: base, reach, full")
 		policy    = flag.String("policy", "all", "reader policy for full mode: all, lr")
@@ -46,7 +46,8 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
 		dedup     = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
 		fastpath  = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
-		reachSub  = flag.String("reach", "om", "with -bench: SF-Order reachability substrate: om (English/Hebrew lists) or depa (fork-path labels, ABL10)")
+		reachSub  = flag.String("reach", "om", "with -bench: SF-Order reachability substrate: om (English/Hebrew lists), depa (prefix-sharing fork-path cords, ABL10/11), or hybrid (depth-adaptive flat+cord, ABL11)")
+		extras    = flag.Bool("extras", false, "append the adversarial extras (spine, pipeline) to -table runs")
 		omglobal  = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
 		noarena   = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
 		lockdeque = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
@@ -62,6 +63,9 @@ func main() {
 		fatalf("unknown scale %q", *scale)
 	}
 	benches := workload.All(sc)
+	if *extras {
+		benches = append(benches, workload.Extras(sc)...)
+	}
 
 	// The HTTP endpoint outlives a single run: the expvar page always
 	// reflects the most recently attached registry.

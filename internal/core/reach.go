@@ -42,11 +42,13 @@ import (
 )
 
 // node is the SF-Order per-strand state. The first two words are the
-// substrate position, a union so the record stays at 24 bytes for both
-// backends (a size test pins it): under SubstrateOM they are the
-// English and Hebrew om.Item pointers, under SubstrateDePa p0 is the
-// fork-path label and p1 is unused. Only the substrate that wrote a
-// node ever reads its position, so the union needs no tag.
+// substrate position, a union so the record stays at 24 bytes for
+// every backend (a size test pins it): under SubstrateOM they are the
+// English and Hebrew om.Item pointers; under SubstrateDePa p0 is the
+// cord fork-path label and p1 is nil; under SubstrateHybrid p1 holds
+// the packed flat copy for strands below the depth threshold. Only the
+// substrate that wrote a node ever reads its position, so the union
+// needs no tag.
 type node struct {
 	p0, p1 unsafe.Pointer
 	gp     *bitset.Set // future IDs F with last(F) ⇝NSP here (shared)
@@ -57,7 +59,10 @@ func (n *node) setOM(eng, heb *om.Item) {
 	n.p0, n.p1 = unsafe.Pointer(eng), unsafe.Pointer(heb)
 }
 func (n *node) depaLabel() *depa.Label { return (*depa.Label)(n.p0) }
-func (n *node) setDepa(l *depa.Label)  { n.p0 = unsafe.Pointer(l) }
+func (n *node) depaFlat() *depa.Flat   { return (*depa.Flat)(n.p1) }
+func (n *node) setDepa(l *depa.Label, f *depa.Flat) {
+	n.p0, n.p1 = unsafe.Pointer(l), unsafe.Pointer(f)
+}
 
 // futMeta is the SF-Order per-future state.
 type futMeta struct {
@@ -69,8 +74,14 @@ type futMeta struct {
 // insert locking and per-worker arenas.
 type Config struct {
 	// Reach selects the reachability substrate: the English/Hebrew OM
-	// list pair (default) or DePa fork-path labels (ABL10).
+	// list pair (default), DePa fork-path cords (ABL10), or the
+	// depth-adaptive hybrid (ABL11).
 	Reach Substrate
+	// HybridDepth is the SubstrateHybrid switchover: strands below this
+	// fork depth carry a packed flat label beside the cord and compare
+	// flat-to-flat. Zero means DefaultHybridDepth. Ignored by the other
+	// substrates.
+	HybridDepth int
 	// GlobalOMLock forces both OM lists back onto the single list-level
 	// insert lock (the pre-fine-grained behavior; ABL8). Ignored by the
 	// DePa substrate, which takes no locks at all.
@@ -116,9 +127,16 @@ type Reach struct {
 // cfg, ready to be passed as the Tracer of a sched.Run.
 func New(cfg Config) *Reach {
 	var sub Reachability
-	if cfg.Reach == SubstrateDePa {
-		sub = newDepaSub()
-	} else {
+	switch cfg.Reach {
+	case SubstrateDePa:
+		sub = newDepaSub(0)
+	case SubstrateHybrid:
+		hd := cfg.HybridDepth
+		if hd <= 0 {
+			hd = DefaultHybridDepth
+		}
+		sub = newDepaSub(hd)
+	default:
 		sub = newOMPair(cfg.GlobalOMLock)
 	}
 	r := &Reach{sub: sub, cfg: cfg}
@@ -491,6 +509,23 @@ func (r *Reach) RegisterStats(reg *obsv.Registry) {
 	reg.RegisterFunc("reach.set_mem_bytes", func() int64 { return r.setMem.Load() })
 	reg.RegisterFunc("reach.mem_bytes", func() int64 { return int64(r.MemBytes()) })
 	r.sub.registerStats(reg)
+	if _, ok := r.sub.(*depaSub); ok {
+		// Satellite of the label arenas: bytes stranded at word-slab
+		// tails when a flat label's slice didn't fit the remainder. Only
+		// the Reach sees all the lanes, so the gauge lives here.
+		reg.RegisterFunc("depa.slab_waste_bytes", func() int64 {
+			r.sharedMu.Lock()
+			defer r.sharedMu.Unlock()
+			var total int64
+			for _, a := range r.lanes {
+				total += a.labels.WasteBytes()
+			}
+			if r.shared != nil {
+				total += r.shared.labels.WasteBytes()
+			}
+			return total
+		})
+	}
 	reg.RegisterFunc("core.arena_bytes", r.ArenaBytes)
 }
 

@@ -18,29 +18,51 @@ const (
 	// take a per-list maintenance lock.
 	SubstrateOM Substrate = iota
 	// SubstrateDePa uses immutable DePa-style fork-path labels
-	// (internal/depa): no relabeling, no maintenance lock, exhaustion
-	// structurally impossible; comparisons cost O(depth/32) words.
+	// (internal/depa) stored as prefix-sharing cords: no relabeling, no
+	// maintenance lock, exhaustion structurally impossible; label memory
+	// is O(strands) and comparisons skip the shared prefix by pointer
+	// equality, examining O(1) words at any depth.
 	SubstrateDePa
+	// SubstrateHybrid is DePa with a depth-adaptive twist (ABL11):
+	// strands shallower than Config.HybridDepth also carry a packed
+	// flat copy of their label, and queries where both sides have one
+	// compare the flats — no pointer chase, the fastest path at the
+	// depths where BENCH_pr7's crossover showed flat labels winning.
+	// Deep strands fall back to the cord compare.
+	SubstrateHybrid
 )
 
 // String returns the -reach flag spelling of the substrate.
 func (s Substrate) String() string {
-	if s == SubstrateDePa {
+	switch s {
+	case SubstrateDePa:
 		return "depa"
+	case SubstrateHybrid:
+		return "hybrid"
 	}
 	return "om"
 }
 
-// ParseSubstrate parses a -reach flag value ("om" or "depa").
+// ParseSubstrate parses a -reach flag value ("om", "depa", or "hybrid").
 func ParseSubstrate(name string) (Substrate, error) {
 	switch name {
 	case "om", "":
 		return SubstrateOM, nil
 	case "depa":
 		return SubstrateDePa, nil
+	case "hybrid":
+		return SubstrateHybrid, nil
 	}
-	return SubstrateOM, fmt.Errorf("unknown reachability substrate %q (want om or depa)", name)
+	return SubstrateOM, fmt.Errorf("unknown reachability substrate %q (want om, depa, or hybrid)", name)
 }
+
+// DefaultHybridDepth is the flat/cord switchover depth when
+// Config.HybridDepth is unset. The ABL10 crossover (BENCH_pr7.json)
+// had flat labels beating the OM pair up to roughly 25 fork levels and
+// losing past ~1000; 64 keeps every label that still fits a word or
+// two on the chase-free flat path while bounding the redundant copy a
+// shallow strand carries to two words.
+const DefaultHybridDepth = 64
 
 // Reachability is the substrate interface: the part of SF-Order that
 // maintains the two PSP(D) total orders and answers order queries. The
@@ -164,43 +186,100 @@ func (p *omPair) registerStats(reg *obsv.Registry) {
 // ---------------------------------------------------------------------
 // DePa backend: immutable fork-path labels.
 
-// depaSub assigns each strand one fork-path label (node.depaLabel).
-// Placement is pure appending — no list structure, no locks — and both
-// order queries resolve from a single label comparison (depa.Rel), so
-// there is nothing to split, renumber, or exhaust.
+// depaSub assigns each strand one fork-path label. Placement is pure
+// appending — no list structure, no locks — and both order queries
+// resolve from a single label comparison, so there is nothing to
+// split, renumber, or exhaust.
+//
+// The label is a prefix-sharing cord (node.depaLabel, always present):
+// Extend copies one word and the frozen chain is shared with the
+// parent, so label memory is O(strands) and depa.Rel answers from O(1)
+// words via the pointer-equality prefix skip. With hybridDepth > 0
+// (SubstrateHybrid) strands whose parent is shallower than the
+// threshold additionally carry a packed flat copy (node.depaFlat), and
+// queries compare flats whenever both sides have one — the chase-free
+// path for the shallow labels that dominate wide, flat programs. The
+// cord chain is maintained for *every* strand, flat or not: the
+// pointer-skip in depa.Rel is only O(1) because chunk sharing is
+// structural, and that holds only if deep labels descend from their
+// ancestors' actual chunk nodes, never from a rebuilt copy.
 type depaSub struct {
+	hybridDepth int // keep a flat while parent depth < this; 0 = never
+
 	labels   atomic.Int64  // labels assigned
-	labelMem atomic.Int64  // bytes across all labels (headers + words)
+	labelMem atomic.Int64  // bytes: cord headers + frozen chunks + flats
 	maxDepth atomic.Int64  // deepest fork path seen
-	cmps     atomic.Uint64 // Rel calls (psp + leftOf)
-	cmpWords atomic.Uint64 // words examined across all Rel calls
+	chunks   atomic.Int64  // chunk nodes frozen (shared words)
+	cmps     atomic.Uint64 // compares (psp + leftOf)
+	cmpWords atomic.Uint64 // words examined across all compares
+	flatCmps atomic.Uint64 // compares served by the flat fast path
 }
 
-func newDepaSub() *depaSub { return &depaSub{} }
+func newDepaSub(hybridDepth int) *depaSub {
+	return &depaSub{hybridDepth: hybridDepth}
+}
 
-func (d *depaSub) note(l *depa.Label) *depa.Label {
+// account records one new strand label: the cord header, the chunk
+// node if this Extend froze one (parent and child then disagree on
+// FullWords — counting it here, exactly once, is what keeps shared
+// words out of the per-label figure), and the flat copy if one was
+// made. parent is nil for the root.
+func (d *depaSub) account(parent, l *depa.Label, f *depa.Flat) {
 	d.labels.Add(1)
-	d.labelMem.Add(int64(l.MemBytes()))
+	mem := int64(l.MemBytes())
+	pw := 0
+	if parent != nil {
+		pw = parent.FullWords()
+	}
+	if l.FullWords() != pw {
+		mem += int64(depa.ChunkBytes)
+		d.chunks.Add(1)
+	}
+	if f != nil {
+		mem += int64(f.MemBytes())
+	}
+	d.labelMem.Add(mem)
 	depth := int64(l.Depth())
 	for {
 		cur := d.maxDepth.Load()
 		if depth <= cur || d.maxDepth.CompareAndSwap(cur, depth) {
-			return l
+			return
 		}
 	}
 }
 
+// extend grows one strand's representation pair: the cord always, the
+// flat only while the parent still has one below the threshold — once
+// a path crosses hybridDepth its flats stop forever (descendants only
+// get deeper), so the redundant copy is bounded by threshold words.
+func (d *depaSub) extend(la *depa.Arena, ul *depa.Label, uf *depa.Flat, c uint8) (*depa.Label, *depa.Flat) {
+	l := ul.Extend(la, c)
+	var f *depa.Flat
+	if uf != nil && uf.Depth() < d.hybridDepth {
+		f = uf.Extend(la, c)
+	}
+	d.account(ul, l, f)
+	return l, f
+}
+
 func (d *depaSub) placeRoot(a *laneAlloc, rn *node) {
-	rn.setDepa(d.note(depa.NewLabel(labelsOf(a))))
+	la := labelsOf(a)
+	l := depa.NewLabel(la)
+	var f *depa.Flat
+	if d.hybridDepth > 0 {
+		f = depa.NewFlat(la)
+	}
+	d.account(nil, l, f)
+	rn.setDepa(l, f)
 }
 
 func (d *depaSub) placeBranch(a *laneAlloc, un, cn, kn, pn *node) {
 	la := labelsOf(a)
-	ul := un.depaLabel()
-	cn.setDepa(d.note(ul.Extend(la, depa.Child)))
-	kn.setDepa(d.note(ul.Extend(la, depa.Cont)))
+	ul, uf := un.depaLabel(), un.depaFlat()
+	cn.setDepa(d.extend(la, ul, uf, depa.Child))
+	kn.setDepa(d.extend(la, ul, uf, depa.Cont))
 	if pn != nil {
-		pn.setDepa(d.note(ul.Extend(la, depa.Sync)))
+		pn.setDepa(d.extend(la, ul, uf, depa.Sync))
 	}
 }
 
@@ -208,20 +287,33 @@ func (d *depaSub) placeBranch(a *laneAlloc, un, cn, kn, pn *node) {
 // un in both orders, because un anchors no other placement (each
 // strand forks at most once) so no other label extends un's.
 func (d *depaSub) placeSerial(a *laneAlloc, un, gn *node) {
-	gn.setDepa(d.note(un.depaLabel().Extend(labelsOf(a), depa.Child)))
+	gn.setDepa(d.extend(labelsOf(a), un.depaLabel(), un.depaFlat(), depa.Child))
+}
+
+// rel dispatches one order query: the flat fast path when both strands
+// are shallow enough to carry packed copies, the cord compare (with
+// its LCA skip) otherwise. Comparing a flat against a cord is never
+// needed — the cords are always there.
+func (d *depaSub) rel(u, v *node) (eng, heb bool) {
+	var w int
+	if uf, vf := u.depaFlat(), v.depaFlat(); uf != nil && vf != nil {
+		eng, heb, w = depa.RelFlat(uf, vf)
+		d.flatCmps.Add(1)
+	} else {
+		eng, heb, w = depa.Rel(u.depaLabel(), v.depaLabel())
+	}
+	d.cmps.Add(1)
+	d.cmpWords.Add(uint64(w))
+	return eng, heb
 }
 
 func (d *depaSub) psp(u, v *node) bool {
-	eng, heb, w := depa.Rel(u.depaLabel(), v.depaLabel())
-	d.cmps.Add(1)
-	d.cmpWords.Add(uint64(w))
+	eng, heb := d.rel(u, v)
 	return eng && heb
 }
 
 func (d *depaSub) leftOf(u, v *node) bool {
-	eng, _, w := depa.Rel(u.depaLabel(), v.depaLabel())
-	d.cmps.Add(1)
-	d.cmpWords.Add(uint64(w))
+	eng, _ := d.rel(u, v)
 	return eng
 }
 
@@ -235,8 +327,10 @@ func (d *depaSub) registerStats(reg *obsv.Registry) {
 	reg.RegisterFunc("depa.labels", func() int64 { return d.labels.Load() })
 	reg.RegisterFunc("depa.label_mem_bytes", func() int64 { return d.labelMem.Load() })
 	reg.RegisterFunc("depa.max_depth", func() int64 { return d.maxDepth.Load() })
+	reg.RegisterFunc("depa.chunks", func() int64 { return d.chunks.Load() })
 	reg.RegisterFunc("depa.compares", func() int64 { return int64(d.cmps.Load()) })
 	reg.RegisterFunc("depa.compare_words", func() int64 { return int64(d.cmpWords.Load()) })
+	reg.RegisterFunc("depa.flat_compares", func() int64 { return int64(d.flatCmps.Load()) })
 }
 
 var (

@@ -15,13 +15,31 @@
 // One comparison therefore answers both u ⊏E v and u ⊏H v, i.e. a
 // whole psp query.
 //
-// The payoff is structural: labels are assigned once and never touched
-// again, so there are no bucket splits, no renumberings, no
-// maintenance lock, and no label space to exhaust — a label just grows
-// by one component per tree level. The cost is that label length is
-// the strand's spawn depth, so comparisons are O(depth/32) words and
-// memory is O(strands × depth/32) words, which is what the ABL10
-// crossover benchmarks measure against the O(1)-per-strand OM pair.
+// Labels come in two representations:
+//
+//   - Label is a prefix-sharing cord, the default. A label is a pointer
+//     to an immutable chain of frozen full words — one chunk node per 32
+//     components, shared structurally with every ancestor — plus one
+//     private, partially filled tail word. Extend copies only the tail
+//     (and freezes it into a new chunk when it fills), so building n
+//     strands costs O(n) words total instead of the O(n × depth) a flat
+//     copy pays, and Rel skips the whole common prefix by chunk pointer
+//     equality: because chunks below the fork point of two strands are
+//     the *same* nodes, the first chunk pair that is not pointer-equal
+//     is exactly the word containing the first divergent component, and
+//     every comparison inspects one word.
+//
+//   - Flat is the packed inline array: every word of the path in one
+//     contiguous slice, copied whole on Extend. Comparisons walk words
+//     from the front with no pointer chase, which is fastest while
+//     labels are a word or two; the copy makes it O(depth²) total work
+//     on deep spines. The hybrid substrate (internal/core) keeps a Flat
+//     alongside the cord for strands at or below a depth threshold and
+//     compares flats whenever both sides have one.
+//
+// The payoff over OM is structural either way: labels are assigned once
+// and never touched again, so there are no bucket splits, no
+// renumberings, no maintenance lock, and no label space to exhaust.
 package depa
 
 import (
@@ -40,43 +58,199 @@ const (
 )
 
 // compsPerWord is how many 2-bit components a label word holds; the
-// first component of a label occupies the top bits of words[0].
+// first component of a word occupies its top bits.
 const compsPerWord = 32
 
-// Label is one strand's fork path, packed big-endian. Labels are
-// immutable after Extend returns them, so readers never synchronize.
+// hebOrd maps a component to its rank in the Hebrew order: at a branch
+// point the continuation (and everything under it) comes before the
+// child's subtree, i.e. Child and Cont swap; Sync stays last and the
+// zero padding stays first.
+var hebOrd = [4]uint8{0, 2, 1, 3}
+
+// ---------------------------------------------------------------------
+// Cord labels: frozen chunk chain + private tail word.
+
+// chunk is one frozen, full label word: 32 components that will never
+// change, linked to the chunks before it. Chunks are shared — every
+// descendant of the strand whose Extend froze this word points at the
+// same node — which is what makes prefix skipping by pointer equality
+// sound (see Rel).
+type chunk struct {
+	prev *chunk
+	word uint64
+	idx  uint32 // position of this word in the label: chain length - 1
+}
+
+// Label is one strand's fork path as a prefix-sharing cord: all full
+// words live in the shared frozen chain, the (strictly fewer than 32)
+// remaining components in the private tail word, packed from the top
+// with zero padding below. Labels are immutable after Extend returns
+// them, so readers never synchronize. The component count is derived,
+// not stored: the chain length gives the full words and the tail's
+// lowest used bit gives the remainder, keeping the header two words.
 type Label struct {
+	frozen *chunk
+	tail   uint64
+}
+
+// LabelBytes and ChunkBytes are the allocation sizes the substrate's
+// memory accounting uses: one LabelBytes per strand, one ChunkBytes per
+// frozen word — counted once at the freeze, never again by the many
+// labels that share the chunk.
+var (
+	LabelBytes = int(unsafe.Sizeof(Label{}))
+	ChunkBytes = int(unsafe.Sizeof(chunk{}))
+)
+
+// tailComps returns how many components a tail word holds. Components
+// are nonzero and packed from the top, so the lowest used bit position
+// determines the count; an empty tail is zero.
+func tailComps(tail uint64) int {
+	return (65 - bits.TrailingZeros64(tail)) / 2
+}
+
+// FullWords returns the number of frozen full words (the chunk-chain
+// length).
+func (l *Label) FullWords() int {
+	if l.frozen == nil {
+		return 0
+	}
+	return int(l.frozen.idx) + 1
+}
+
+// Depth returns the number of components (the strand's fork depth).
+func (l *Label) Depth() int {
+	return compsPerWord*l.FullWords() + tailComps(l.tail)
+}
+
+// MemBytes returns the label's own footprint: the two-word header. The
+// frozen chain is shared and accounted once per chunk at the Extend
+// that froze it (ChunkBytes), not per label pointing at it.
+func (l *Label) MemBytes() int { return LabelBytes }
+
+// NewLabel returns the empty root label, allocated from a (heap when a
+// is nil).
+func NewLabel(a *Arena) *Label { return a.label() }
+
+// Extend returns a new label that appends component c to l. l is not
+// modified. Only the tail word is copied; when it fills (the 32nd
+// component), it freezes into a new chunk node pushed onto l's chain,
+// and the new label starts an empty tail. O(1) worst case: the frozen
+// prefix is shared, never copied.
+func (l *Label) Extend(a *Arena, c uint8) *Label {
+	out := a.label()
+	r := tailComps(l.tail)
+	w := l.tail | uint64(c)<<(62-2*uint(r))
+	if r == compsPerWord-1 {
+		idx := uint32(0)
+		if l.frozen != nil {
+			idx = l.frozen.idx + 1
+		}
+		out.frozen = a.chunk(l.frozen, w, idx)
+		out.tail = 0
+	} else {
+		out.frozen = l.frozen
+		out.tail = w
+	}
+	return out
+}
+
+// Rel compares two cord labels in both total orders at once: eng
+// reports a ⊏E b (a strictly before b in the English order) and heb
+// reports a ⊏H b. Equal labels yield false, false. cmpWords is the
+// number of word pairs whose contents were examined, the "compare
+// depth" stat. Lock-free: labels and chunks are immutable.
+//
+// The shared prefix is skipped by pointer equality instead of being
+// compared. In detector use every label descends from one root via
+// Extend, so chunks below the fork point of two strands are the *same*
+// nodes: the lockstep walk toward the root stops the moment the chains
+// become pointer-equal, having examined only the chunks frozen after
+// the fork — O(depth below the LCA / 32) words, typically one, however
+// deep the labels are. Rel stays correct without that sharing
+// (content-equal chunks that are distinct nodes compare equal and the
+// walk continues), it is just no longer sublinear.
+//
+// Where the chains have different lengths, the pair at the boundary
+// index — the deeper chain's word against the shallower label's tail —
+// always differs (a full word carries 32 nonzero components, a tail at
+// most 31), so deeper words of the longer chain are never decisive and
+// only the equal-length region below the boundary needs walking.
+func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
+	wa, wb := a.tail, b.tail // divergence candidate, shallowest known
+	cmpWords = 1
+	if ca, cb := a.frozen, b.frozen; ca != cb {
+		// Descend the deeper chain to the shallower's length, capturing
+		// the boundary word that pairs with the shallower's tail.
+		for ca != nil && (cb == nil || ca.idx > cb.idx) {
+			if cb == nil && ca.idx == 0 || cb != nil && ca.idx == cb.idx+1 {
+				wa = ca.word
+			}
+			ca = ca.prev
+		}
+		for cb != nil && (ca == nil || cb.idx > ca.idx) {
+			if ca == nil && cb.idx == 0 || ca != nil && cb.idx == ca.idx+1 {
+				wb = cb.word
+			}
+			cb = cb.prev
+		}
+		// Lockstep toward the root, keeping the shallowest differing
+		// pair; pointer equality means everything below is shared.
+		for ca != cb {
+			cmpWords++
+			if ca.word != cb.word {
+				wa, wb = ca.word, cb.word
+			}
+			ca, cb = ca.prev, cb.prev
+		}
+	}
+	x := wa ^ wb
+	if x == 0 {
+		// No word pair differs anywhere: the labels are identical.
+		return false, false, cmpWords
+	}
+	// First differing component: the 2-bit field holding x's top set bit.
+	sh := 62 - uint(bits.LeadingZeros64(x))&^1
+	qa := wa >> sh & 3
+	qb := wb >> sh & 3
+	return qa < qb, hebOrd[qa] < hebOrd[qb], cmpWords
+}
+
+// ---------------------------------------------------------------------
+// Flat labels: the packed inline representation.
+
+// Flat is a fork path packed big-endian into one contiguous slice,
+// copied whole on Extend. No pointer chase on compare, O(depth) copy
+// per strand — the representation the hybrid substrate keeps for
+// shallow strands. Immutable after Extend returns.
+type Flat struct {
 	words []uint64
 	n     uint32 // number of components
 }
 
 // Depth returns the number of components (the strand's fork depth).
-func (l *Label) Depth() int { return int(l.n) }
+func (f *Flat) Depth() int { return int(f.n) }
 
 // Words returns the packed length in 64-bit words.
-func (l *Label) Words() int { return len(l.words) }
+func (f *Flat) Words() int { return len(f.words) }
 
-// MemBytes returns the label's footprint: header plus packed words.
-func (l *Label) MemBytes() int {
-	return int(unsafe.Sizeof(Label{})) + 8*len(l.words)
+// MemBytes returns the label's footprint: header plus packed words
+// (nothing is shared between flats).
+func (f *Flat) MemBytes() int {
+	return int(unsafe.Sizeof(Flat{})) + 8*len(f.words)
 }
 
-// NewLabel returns the empty root label, allocated from a (heap when a
-// is nil).
-func NewLabel(a *Arena) *Label {
-	return a.label()
-}
+// NewFlat returns the empty flat root label.
+func NewFlat(a *Arena) *Flat { return a.flat() }
 
-// Extend returns a new label that appends component c to l. l is not
-// modified; the new label copies l's words (sharing would force the
-// last, partially filled word to be copied anyway, and whole-slab
-// recycling wants labels contiguous in their own slabs).
-func (l *Label) Extend(a *Arena, c uint8) *Label {
-	n := l.n
+// Extend returns a new flat label appending component c to f; f's words
+// are copied in full.
+func (f *Flat) Extend(a *Arena, c uint8) *Flat {
+	n := f.n
 	nw := int(n/compsPerWord) + 1
-	out := a.label()
+	out := a.flat()
 	w := a.wordSlice(nw)
-	copy(w, l.words)
+	copy(w, f.words)
 	if rem := n % compsPerWord; rem == 0 {
 		w[nw-1] = uint64(c) << 62
 	} else {
@@ -87,18 +261,10 @@ func (l *Label) Extend(a *Arena, c uint8) *Label {
 	return out
 }
 
-// hebOrd maps a component to its rank in the Hebrew order: at a branch
-// point the continuation (and everything under it) comes before the
-// child's subtree, i.e. Child and Cont swap; Sync stays last and the
-// zero padding stays first.
-var hebOrd = [4]uint8{0, 2, 1, 3}
-
-// Rel compares two labels in both total orders at once: eng reports
-// a ⊏E b (a strictly before b in the English order) and heb reports
-// a ⊏H b. Equal labels yield false, false. cmpWords is the number of
-// words examined, the "compare depth" stat. Lock-free: labels are
-// immutable.
-func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
+// RelFlat is Rel over flat labels: a front-to-back word compare with no
+// prefix skipping (flats share no structure). cmpWords is the number of
+// words examined.
+func RelFlat(a, b *Flat) (eng, heb bool, cmpWords int) {
 	wa, wb := a.words, b.words
 	min := len(wa)
 	if len(wb) < min {
@@ -106,7 +272,6 @@ func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
 	}
 	for i := 0; i < min; i++ {
 		if x := wa[i] ^ wb[i]; x != 0 {
-			// First differing component: 2-bit field j of word i.
 			sh := 62 - uint(bits.LeadingZeros64(x))&^1
 			ca := wa[i] >> sh & 3
 			cb := wb[i] >> sh & 3
@@ -120,46 +285,60 @@ func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
 	return len(wa) < len(wb), len(wa) < len(wb), min
 }
 
-// Arena is a slab (bump) allocator for labels and their packed words,
-// mirroring om.ItemArena so internal/core's per-worker lanes can hand
-// out DePa labels with a pointer bump and recycle them wholesale. An
-// arena is single-owner: not safe for concurrent use. A nil *Arena is
-// valid and falls back to the heap (the -noarena ablation and callers
-// without lane state).
+// ---------------------------------------------------------------------
+// Arena.
+
+// Arena is a slab (bump) allocator for cord labels, their frozen chunk
+// nodes, flat labels, and flat word slices, mirroring om.ItemArena so
+// internal/core's per-worker lanes can hand out DePa labels with a
+// pointer bump and recycle them wholesale. An arena is single-owner:
+// not safe for concurrent use. A nil *Arena is valid and falls back to
+// the heap (the -noarena ablation and callers without lane state).
 type Arena struct {
-	curL    *labelChunk
-	nextL   int
-	lchunks []*labelChunk
-
-	curW    *wordChunk
-	nextW   int
-	wchunks []*wordChunk
-
-	bytes atomic.Int64 // slab bytes held; atomic so gauges scrape mid-run
+	curL   *labelSlab
+	nextL  int
+	lslabs []*labelSlab
+	curC   *chunkSlab
+	nextC  int
+	cslabs []*chunkSlab
+	curF   *flatSlab
+	nextF  int
+	fslabs []*flatSlab
+	curW   *wordSlab
+	nextW  int
+	wslabs []*wordSlab
+	bytes  atomic.Int64 // bytes held: slabs plus oversized heap words
+	waste  atomic.Int64 // bytes stranded at slab tails by unfit requests
 }
 
 const (
-	labelChunkLen = 256  // 256 × 32 B = 8 KiB per label slab
-	wordChunkLen  = 2048 // 16 KiB of packed label words per slab
+	labelSlabLen = 256  // 256 × 16 B = 4 KiB of cord labels per slab
+	chunkSlabLen = 256  // 256 × 24 B = 6 KiB of frozen chunk nodes
+	flatSlabLen  = 256  // 256 × 32 B = 8 KiB of flat headers per slab
+	wordSlabLen  = 2048 // 16 KiB of packed flat words per slab
 )
 
-type labelChunk struct{ labels [labelChunkLen]Label }
-type wordChunk struct{ words [wordChunkLen]uint64 }
+type labelSlab struct{ labels [labelSlabLen]Label }
+type chunkSlab struct{ chunks [chunkSlabLen]chunk }
+type flatSlab struct{ flats [flatSlabLen]Flat }
+type wordSlab struct{ words [wordSlabLen]uint64 }
 
 var (
-	labelChunkPool = sync.Pool{New: func() any { return new(labelChunk) }}
-	wordChunkPool  = sync.Pool{New: func() any { return new(wordChunk) }}
+	labelSlabPool = sync.Pool{New: func() any { return new(labelSlab) }}
+	chunkSlabPool = sync.Pool{New: func() any { return new(chunkSlab) }}
+	flatSlabPool  = sync.Pool{New: func() any { return new(flatSlab) }}
+	wordSlabPool  = sync.Pool{New: func() any { return new(wordSlab) }}
 )
 
 func (a *Arena) label() *Label {
 	if a == nil {
 		return &Label{}
 	}
-	if a.curL == nil || a.nextL == labelChunkLen {
-		a.curL = labelChunkPool.Get().(*labelChunk)
-		a.lchunks = append(a.lchunks, a.curL)
+	if a.curL == nil || a.nextL == labelSlabLen {
+		a.curL = labelSlabPool.Get().(*labelSlab)
+		a.lslabs = append(a.lslabs, a.curL)
 		a.nextL = 0
-		a.bytes.Add(int64(unsafe.Sizeof(labelChunk{})))
+		a.bytes.Add(int64(unsafe.Sizeof(labelSlab{})))
 	}
 	l := &a.curL.labels[a.nextL]
 	a.nextL++
@@ -167,26 +346,72 @@ func (a *Arena) label() *Label {
 	return l
 }
 
+// chunk allocates one frozen-word node. Every field is assigned, so
+// recycled slabs need no zeroing.
+func (a *Arena) chunk(prev *chunk, word uint64, idx uint32) *chunk {
+	if a == nil {
+		return &chunk{prev: prev, word: word, idx: idx}
+	}
+	if a.curC == nil || a.nextC == chunkSlabLen {
+		a.curC = chunkSlabPool.Get().(*chunkSlab)
+		a.cslabs = append(a.cslabs, a.curC)
+		a.nextC = 0
+		a.bytes.Add(int64(unsafe.Sizeof(chunkSlab{})))
+	}
+	c := &a.curC.chunks[a.nextC]
+	a.nextC++
+	c.prev, c.word, c.idx = prev, word, idx
+	return c
+}
+
+func (a *Arena) flat() *Flat {
+	if a == nil {
+		return &Flat{}
+	}
+	if a.curF == nil || a.nextF == flatSlabLen {
+		a.curF = flatSlabPool.Get().(*flatSlab)
+		a.fslabs = append(a.fslabs, a.curF)
+		a.nextF = 0
+		a.bytes.Add(int64(unsafe.Sizeof(flatSlab{})))
+	}
+	f := &a.curF.flats[a.nextF]
+	a.nextF++
+	*f = Flat{}
+	return f
+}
+
 // wordSlice carves n words off the current slab. The caller assigns
 // every word, so recycled slabs need no zeroing. Oversized requests
-// (labels deeper than 32×wordChunkLen components) fall back to the
-// heap rather than growing the slab geometry.
+// (flat labels deeper than 32×wordSlabLen components) fall back to the
+// heap rather than growing the slab geometry — those bytes are still
+// counted, so the memory gauges do not under-report on very deep
+// labels. Words stranded at the tail of a slab that could not fit a
+// request accumulate on the waste counter.
 func (a *Arena) wordSlice(n int) []uint64 {
-	if a == nil || n > wordChunkLen {
+	if a == nil {
 		return make([]uint64, n)
 	}
-	if a.curW == nil || a.nextW+n > wordChunkLen {
-		a.curW = wordChunkPool.Get().(*wordChunk)
-		a.wchunks = append(a.wchunks, a.curW)
+	if n > wordSlabLen {
+		a.bytes.Add(int64(8 * n))
+		return make([]uint64, n)
+	}
+	if a.curW == nil || a.nextW+n > wordSlabLen {
+		if a.curW != nil && a.nextW < wordSlabLen {
+			a.waste.Add(int64(8 * (wordSlabLen - a.nextW)))
+		}
+		a.curW = wordSlabPool.Get().(*wordSlab)
+		a.wslabs = append(a.wslabs, a.curW)
 		a.nextW = 0
-		a.bytes.Add(int64(unsafe.Sizeof(wordChunk{})))
+		a.bytes.Add(int64(unsafe.Sizeof(wordSlab{})))
 	}
 	s := a.curW.words[a.nextW : a.nextW+n : a.nextW+n]
 	a.nextW += n
 	return s
 }
 
-// Bytes reports the slab bytes currently held by the arena.
+// Bytes reports the bytes currently held by the arena: slabs plus any
+// oversized heap-fallback word slices handed out since the last
+// Release.
 func (a *Arena) Bytes() int64 {
 	if a == nil {
 		return 0
@@ -194,24 +419,48 @@ func (a *Arena) Bytes() int64 {
 	return a.bytes.Load()
 }
 
+// WasteBytes reports the bytes stranded at slab tails when a word
+// request did not fit the current slab's remainder (depa.slab_waste_bytes).
+func (a *Arena) WasteBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.waste.Load()
+}
+
 // Release returns every slab to the shared pools for reuse by a later
-// run. The caller must guarantee no Label allocated from this arena is
-// referenced afterwards: a recycled slab will be handed out again.
+// run. The caller must guarantee no Label, chunk chain, or Flat
+// allocated from this arena is referenced afterwards: a recycled slab
+// will be handed out again. Oversized heap-fallback slices are simply
+// dropped to the GC.
 func (a *Arena) Release() {
 	if a == nil {
 		return
 	}
-	for i, c := range a.lchunks {
-		a.lchunks[i] = nil
-		labelChunkPool.Put(c)
+	for i, s := range a.lslabs {
+		a.lslabs[i] = nil
+		labelSlabPool.Put(s)
 	}
-	a.lchunks = a.lchunks[:0]
-	for i, c := range a.wchunks {
-		a.wchunks[i] = nil
-		wordChunkPool.Put(c)
+	a.lslabs = a.lslabs[:0]
+	for i, s := range a.cslabs {
+		a.cslabs[i] = nil
+		chunkSlabPool.Put(s)
 	}
-	a.wchunks = a.wchunks[:0]
+	a.cslabs = a.cslabs[:0]
+	for i, s := range a.fslabs {
+		a.fslabs[i] = nil
+		flatSlabPool.Put(s)
+	}
+	a.fslabs = a.fslabs[:0]
+	for i, s := range a.wslabs {
+		a.wslabs[i] = nil
+		wordSlabPool.Put(s)
+	}
+	a.wslabs = a.wslabs[:0]
 	a.curL, a.nextL = nil, 0
+	a.curC, a.nextC = nil, 0
+	a.curF, a.nextF = nil, 0
 	a.curW, a.nextW = nil, 0
 	a.bytes.Store(0)
+	a.waste.Store(0)
 }

@@ -33,7 +33,9 @@ func hebOrd(c uint8) uint8 {
 	return c
 }
 
-// build materializes a component path as a Label via Extend.
+// build materializes a component path as a cord Label via Extend,
+// sharing structure with the labels of every proper prefix — the way
+// the substrate builds them.
 func build(a *depa.Arena, path []uint8) *depa.Label {
 	l := depa.NewLabel(a)
 	for _, c := range path {
@@ -42,39 +44,126 @@ func build(a *depa.Arena, path []uint8) *depa.Label {
 	return l
 }
 
+// buildFlat materializes the same path in the packed representation.
+func buildFlat(a *depa.Arena, path []uint8) *depa.Flat {
+	f := depa.NewFlat(a)
+	for _, c := range path {
+		f = f.Extend(a, c)
+	}
+	return f
+}
+
+// fuzzPair draws a random label pair biased toward shared prefixes and
+// word-boundary lengths so the packed edge cases (diff in a later
+// word, full last word, proper prefix) all get exercised.
+func fuzzPair(rng *rand.Rand) (pre, ta, tb []uint8) {
+	comps := []uint8{depa.Child, depa.Cont, depa.Sync}
+	pre = make([]uint8, rng.Intn(70))
+	for i := range pre {
+		pre[i] = comps[rng.Intn(3)]
+	}
+	mk := func() []uint8 {
+		tail := make([]uint8, rng.Intn(70))
+		for i := range tail {
+			tail[i] = comps[rng.Intn(3)]
+		}
+		return tail
+	}
+	return pre, mk(), mk()
+}
+
+func cat(pre, tail []uint8) []uint8 {
+	return append(append([]uint8(nil), pre...), tail...)
+}
+
+// extendFrom grows an existing label by path — the substrate's usage:
+// every label descends from its tree parent, so chunk chains share
+// structure wherever paths share prefixes.
+func extendFrom(a *depa.Arena, l *depa.Label, path []uint8) *depa.Label {
+	for _, c := range path {
+		l = l.Extend(a, c)
+	}
+	return l
+}
+
 func TestRelMatchesReferenceFuzz(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	comps := []uint8{depa.Child, depa.Cont, depa.Sync}
 	var arena depa.Arena
 	defer arena.Release()
 	for trial := 0; trial < 2000; trial++ {
-		// Random pair, biased toward shared prefixes and word-boundary
-		// lengths so the packed edge cases (diff in a later word, full
-		// last word, proper prefix) all get exercised.
-		shared := rng.Intn(70)
-		pre := make([]uint8, shared)
-		for i := range pre {
-			pre[i] = comps[rng.Intn(3)]
-		}
-		mk := func() []uint8 {
-			tail := make([]uint8, rng.Intn(70))
-			for i := range tail {
-				tail[i] = comps[rng.Intn(3)]
-			}
-			return append(append([]uint8(nil), pre...), tail...)
-		}
-		pa, pb := mk(), mk()
-		la, lb := build(&arena, pa), build(&arena, pb)
+		pre, ta, tb := fuzzPair(rng)
+		lpre := build(&arena, pre)
+		la := extendFrom(&arena, lpre, ta)
+		lb := extendFrom(&arena, lpre, tb)
+		pa, pb := cat(pre, ta), cat(pre, tb)
 
 		wantEng := refLess(pa, pb, engOrd)
 		wantHeb := refLess(pa, pb, hebOrd)
-		eng, heb, _ := depa.Rel(la, lb)
+		eng, heb, w := depa.Rel(la, lb)
 		if eng != wantEng || heb != wantHeb {
 			t.Fatalf("trial %d: Rel(%v, %v) = (%v, %v), want (%v, %v)",
 				trial, pa, pb, eng, heb, wantEng, wantHeb)
 		}
+		// With shared chains the walk examines only chunks frozen after
+		// the fork: at most ceil(69/32)+1 per side here, not O(depth).
+		if w < 1 || w > 4 {
+			t.Fatalf("trial %d: cord compare examined %d words, want 1..4", trial, w)
+		}
 		if la.Depth() != len(pa) || lb.Depth() != len(pb) {
 			t.Fatalf("trial %d: Depth mismatch", trial)
+		}
+	}
+}
+
+// TestRelFlatMatchesReferenceFuzz runs the same reference fuzz over the
+// packed representation, and cross-checks it against the cord verdicts:
+// the hybrid substrate treats the two as interchangeable.
+func TestRelFlatMatchesReferenceFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var arena depa.Arena
+	defer arena.Release()
+	for trial := 0; trial < 2000; trial++ {
+		pre, ta, tb := fuzzPair(rng)
+		pa, pb := cat(pre, ta), cat(pre, tb)
+		fa, fb := buildFlat(&arena, pa), buildFlat(&arena, pb)
+
+		wantEng := refLess(pa, pb, engOrd)
+		wantHeb := refLess(pa, pb, hebOrd)
+		eng, heb, _ := depa.RelFlat(fa, fb)
+		if eng != wantEng || heb != wantHeb {
+			t.Fatalf("trial %d: RelFlat(%v, %v) = (%v, %v), want (%v, %v)",
+				trial, pa, pb, eng, heb, wantEng, wantHeb)
+		}
+		if fa.Depth() != len(pa) || fb.Depth() != len(pb) {
+			t.Fatalf("trial %d: Flat Depth mismatch", trial)
+		}
+		ceng, cheb, _ := depa.Rel(build(&arena, pa), build(&arena, pb))
+		if ceng != eng || cheb != heb {
+			t.Fatalf("trial %d: cord and flat verdicts disagree", trial)
+		}
+	}
+}
+
+// TestRelUnsharedChains compares labels built by independent Extend
+// walks: the common prefix is content-equal but the chunk nodes are
+// distinct allocations, so the pointer-equality skip never fires and
+// Rel must fall back to the full lockstep walk — correctness does not
+// depend on structural sharing, only the O(1) bound does.
+func TestRelUnsharedChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var arena depa.Arena
+	defer arena.Release()
+	for trial := 0; trial < 500; trial++ {
+		pre, ta, tb := fuzzPair(rng)
+		pa, pb := cat(pre, ta), cat(pre, tb)
+		la := build(&arena, pa) // independent builds: no shared chunks
+		lb := build(&arena, pb)
+		wantEng := refLess(pa, pb, engOrd)
+		wantHeb := refLess(pa, pb, hebOrd)
+		eng, heb, _ := depa.Rel(la, lb)
+		if eng != wantEng || heb != wantHeb {
+			t.Fatalf("trial %d: unshared Rel(%v, %v) = (%v, %v), want (%v, %v)",
+				trial, pa, pb, eng, heb, wantEng, wantHeb)
 		}
 	}
 }
@@ -92,6 +181,9 @@ func TestRelEqualAndPrefix(t *testing.T) {
 		p[i] = depa.Cont
 	}
 	short := build(&a, p)
+	if short.FullWords() != 1 || short.Depth() != 32 {
+		t.Fatalf("32-component label: FullWords=%d Depth=%d", short.FullWords(), short.Depth())
+	}
 	long := short.Extend(&a, depa.Child)
 	if eng, heb, _ := depa.Rel(short, long); !eng || !heb {
 		t.Fatal("ancestor must precede descendant in both orders")
@@ -136,55 +228,164 @@ func TestBranchOrders(t *testing.T) {
 	mustRel(child, g, true, false, "child vs cont-subtree matches child vs cont")
 }
 
-func TestDeepLabelHeapFallback(t *testing.T) {
+// TestDeepCordLabels drives a cord chain far past one slab of chunk
+// nodes and checks both the derived geometry and that comparisons stay
+// one word regardless of depth.
+func TestDeepCordLabels(t *testing.T) {
 	var a depa.Arena
 	defer a.Release()
 	l := depa.NewLabel(&a)
-	const depth = 70000 // > 32 × wordChunkLen components, forces heap words
+	const depth = 70000
 	for i := 0; i < depth; i++ {
 		l = l.Extend(&a, depa.Cont)
 	}
 	if l.Depth() != depth {
 		t.Fatalf("depth = %d, want %d", l.Depth(), depth)
 	}
-	if l.Words() != (depth+31)/32 {
-		t.Fatalf("words = %d, want %d", l.Words(), (depth+31)/32)
+	if l.FullWords() != depth/32 {
+		t.Fatalf("full words = %d, want %d", l.FullWords(), depth/32)
 	}
 	parent := build(&a, []uint8{depa.Cont})
 	if eng, heb, w := depa.Rel(parent, l); !eng || !heb || w != 1 {
 		t.Fatalf("shallow ancestor vs deep label: (%v, %v, %d)", eng, heb, w)
 	}
 	sib := parent.Extend(&a, depa.Child)
-	if eng, heb, _ := depa.Rel(sib, l); !eng || heb {
+	if eng, heb, w := depa.Rel(sib, l); !eng || heb || w != 1 {
+		t.Fatalf("deep cont-path strand vs child: (%v, %v, %d)", eng, heb, w)
+	}
+	// Two deep siblings diverging at the bottom: the LCA skip must
+	// shortcut the ~2185 shared chunks.
+	sa := l.Extend(&a, depa.Child).Extend(&a, depa.Cont)
+	sb := l.Extend(&a, depa.Cont)
+	if eng, heb, w := depa.Rel(sa, sb); !eng || heb || w != 1 {
+		t.Fatalf("deep siblings: (%v, %v, %d)", eng, heb, w)
+	}
+}
+
+// TestDeepFlatHeapFallback drives a flat label past wordSlabLen words
+// (the oversized wordSlice heap fallback) and checks the satellite
+// fix: those heap bytes must be visible in Arena.Bytes.
+func TestDeepFlatHeapFallback(t *testing.T) {
+	var a depa.Arena
+	defer a.Release()
+	f := depa.NewFlat(&a)
+	const depth = 70000 // > 32 × wordSlabLen components, forces heap words
+	for i := 0; i < depth; i++ {
+		f = f.Extend(&a, depa.Cont)
+	}
+	if f.Depth() != depth {
+		t.Fatalf("depth = %d, want %d", f.Depth(), depth)
+	}
+	if f.Words() != (depth+31)/32 {
+		t.Fatalf("words = %d, want %d", f.Words(), (depth+31)/32)
+	}
+	// The final label alone is 2188 heap words; Bytes must include at
+	// least that on top of the slab bytes a fresh arena would report.
+	if got, want := a.Bytes(), int64(8*f.Words()); got < want {
+		t.Fatalf("oversized heap words unaccounted: Bytes=%d, want >= %d", got, want)
+	}
+	parent := buildFlat(&a, []uint8{depa.Cont})
+	if eng, heb, _ := depa.RelFlat(parent, f); !eng || !heb {
+		t.Fatal("shallow ancestor must precede deep flat label")
+	}
+	sib := parent.Extend(&a, depa.Child)
+	if eng, heb, _ := depa.RelFlat(sib, f); !eng || heb {
 		t.Fatal("deep cont-path strand must be English-after/Hebrew-before the child")
+	}
+}
+
+// TestSlabWasteGauge positions the word-slab cursor 8 words shy of the
+// end, then asks for an 11-word slice: the arena must roll to a fresh
+// slab and report exactly the stranded 8 words on WasteBytes.
+func TestSlabWasteGauge(t *testing.T) {
+	var a depa.Arena
+	defer a.Release()
+	const slab = 2048
+	// A flat built to depth 320 consumes sum ceil(k/32) for k=1..320
+	// = 32·(1+…+10) = 1760 words and ends holding 10.
+	f := depa.NewFlat(&a)
+	for f.Depth() < 320 {
+		f = f.Extend(&a, depa.Cont)
+	}
+	// 280 one-word extends of fresh roots bring the cursor to 2040.
+	for i := 0; i < 280; i++ {
+		depa.NewFlat(&a).Extend(&a, depa.Child)
+	}
+	if a.WasteBytes() != 0 {
+		t.Fatalf("premature waste: %d", a.WasteBytes())
+	}
+	// Extending f needs 11 contiguous words; only 8 remain.
+	f.Extend(&a, depa.Child)
+	if got := a.WasteBytes(); got != 8*8 {
+		t.Fatalf("slab rollover waste = %d bytes, want 64", got)
+	}
+	a.Release()
+	if a.WasteBytes() != 0 {
+		t.Fatal("Release must zero the waste gauge")
 	}
 }
 
 func TestArenaRecycle(t *testing.T) {
 	var a depa.Arena
 	l := build(&a, []uint8{depa.Child, depa.Sync})
+	f := buildFlat(&a, []uint8{depa.Child, depa.Sync})
 	if a.Bytes() == 0 {
 		t.Fatal("arena reported zero bytes after allocations")
 	}
-	_ = l
+	_, _ = l, f
 	a.Release()
 	if a.Bytes() != 0 {
 		t.Fatal("Release must zero the byte count")
 	}
-	// Reuse after release must hand out valid labels again.
-	l2 := build(&a, []uint8{depa.Cont})
-	if l2.Depth() != 1 {
+	// Reuse after release must hand out valid labels again, including
+	// recycled chunk nodes (33 components forces a freeze).
+	p := make([]uint8, 33)
+	for i := range p {
+		p[i] = depa.Cont
+	}
+	l2 := build(&a, p)
+	if l2.Depth() != 33 || l2.FullWords() != 1 {
 		t.Fatal("arena unusable after Release")
 	}
 }
 
 func TestNilArenaHeapFallback(t *testing.T) {
-	l := build(nil, []uint8{depa.Child, depa.Cont, depa.Sync})
-	if l.Depth() != 3 {
-		t.Fatal("nil-arena labels must work")
+	p := make([]uint8, 40) // crosses a word boundary: heap chunk nodes too
+	for i := range p {
+		p[i] = depa.Sync
 	}
-	if (*depa.Arena)(nil).Bytes() != 0 {
-		t.Fatal("nil arena bytes")
+	l := build(nil, p)
+	if l.Depth() != 40 || l.FullWords() != 1 {
+		t.Fatal("nil-arena cord labels must work")
+	}
+	f := buildFlat(nil, p)
+	if f.Depth() != 40 {
+		t.Fatal("nil-arena flat labels must work")
+	}
+	if (*depa.Arena)(nil).Bytes() != 0 || (*depa.Arena)(nil).WasteBytes() != 0 {
+		t.Fatal("nil arena gauges")
 	}
 	(*depa.Arena)(nil).Release()
+}
+
+func TestMemBytes(t *testing.T) {
+	if depa.LabelBytes != 16 {
+		t.Fatalf("cord label header = %d bytes, want 16", depa.LabelBytes)
+	}
+	if depa.ChunkBytes != 24 {
+		t.Fatalf("chunk node = %d bytes, want 24", depa.ChunkBytes)
+	}
+	var a depa.Arena
+	defer a.Release()
+	deep := depa.NewLabel(&a)
+	for i := 0; i < 100; i++ {
+		deep = deep.Extend(&a, depa.Cont)
+	}
+	if deep.MemBytes() != depa.LabelBytes {
+		t.Fatal("cord MemBytes must count only the header — chunks are shared")
+	}
+	f := buildFlat(&a, []uint8{depa.Child})
+	if f.MemBytes() <= 8 {
+		t.Fatal("flat MemBytes must include the packed words")
+	}
 }

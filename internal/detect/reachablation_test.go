@@ -12,20 +12,33 @@ import (
 	"sforder/internal/workload"
 )
 
-// TestReachSubstrateMatchesOracleFuzz is the ABL10 fuzz: on random
-// programs, the racy-location set under the DePa fork-path substrate
-// must be identical to both the OM substrate's and the exhaustive dag
-// oracle's, across both shadow backends (serial engine).
+// reachCfgs are the substrate configurations the ABL10/ABL11 fuzzes
+// sweep: the OM pair, pure DePa cords, and the hybrid with a threshold
+// small enough that progen programs cross the flat/cord boundary
+// mid-run (at the default 64 they would stay all-flat).
+func reachCfgs() []core.Config {
+	return []core.Config{
+		{Reach: core.SubstrateOM},
+		{Reach: core.SubstrateDePa},
+		{Reach: core.SubstrateHybrid, HybridDepth: 6},
+	}
+}
+
+// TestReachSubstrateMatchesOracleFuzz is the ABL10/ABL11 fuzz: on
+// random programs, the racy-location set under the DePa and hybrid
+// label substrates must be identical to both the OM substrate's and
+// the exhaustive dag oracle's, across both shadow backends (serial
+// engine).
 func TestReachSubstrateMatchesOracleFuzz(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
 		want := runOracle(t, p)
-		for _, sub := range []core.Substrate{core.SubstrateOM, core.SubstrateDePa} {
+		for _, ccfg := range reachCfgs() {
 			for _, backend := range []detect.Backend{detect.BackendShardedMap, detect.BackendTwoLevel} {
-				got := runRacyCfg(t, p, core.Config{Reach: sub}, detect.Options{Backend: backend, FastPath: true})
+				got := runRacyCfg(t, p, ccfg, detect.Options{Backend: backend, FastPath: true})
 				if !sameAddrs(got, want) {
 					t.Fatalf("seed %d reach=%v backend %v: got %v, oracle %v",
-						seed, sub, backend, got, want)
+						seed, ccfg.Reach, backend, got, want)
 				}
 			}
 		}
@@ -33,10 +46,10 @@ func TestReachSubstrateMatchesOracleFuzz(t *testing.T) {
 }
 
 // TestReachSubstrateParallelAgreement runs random programs on the
-// parallel engine (4 workers, lane arenas active) under both substrates
-// — with and without arenas — and compares the racy set to the serial
-// oracle. Repeats catch schedule-dependent misbehavior; under -race
-// this doubles as the label-publication race check.
+// parallel engine (4 workers, lane arenas active) under all three
+// substrates — with and without arenas — and compares the racy set to
+// the serial oracle. Repeats catch schedule-dependent misbehavior;
+// under -race this doubles as the label-publication race check.
 func TestReachSubstrateParallelAgreement(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 5})
@@ -44,6 +57,8 @@ func TestReachSubstrateParallelAgreement(t *testing.T) {
 		for _, ccfg := range []core.Config{
 			{Reach: core.SubstrateDePa},
 			{Reach: core.SubstrateDePa, NoArena: true},
+			{Reach: core.SubstrateHybrid, HybridDepth: 6},
+			{Reach: core.SubstrateHybrid, HybridDepth: 6, NoArena: true},
 			{Reach: core.SubstrateOM},
 		} {
 			for rep := 0; rep < 2; rep++ {
@@ -100,17 +115,125 @@ func TestReachSubstrateAdversarialSpine(t *testing.T) {
 		t.Error("OM maintenance work must take the maintenance lock")
 	}
 
-	depa := run(core.SubstrateDePa)
-	if got := depa["om.lock_acquires"]; got != 0 {
-		t.Errorf("DePa substrate took %d maintenance-lock acquisitions, want 0", got)
+	for _, sub := range []core.Substrate{core.SubstrateDePa, core.SubstrateHybrid} {
+		depa := run(sub)
+		if got := depa["om.lock_acquires"]; got != 0 {
+			t.Errorf("%v substrate took %d maintenance-lock acquisitions, want 0", sub, got)
+		}
+		if got := depa["om.english.splits"] + depa["om.hebrew.splits"]; got != 0 {
+			t.Errorf("%v substrate reported %d OM splits, want 0", sub, got)
+		}
+		if depa["depa.labels"] == 0 || depa["depa.label_mem_bytes"] == 0 {
+			t.Errorf("%v substrate must account its labels", sub)
+		}
+		if maxd := depa["depa.max_depth"]; maxd < depth {
+			t.Errorf("%v depa.max_depth = %d, want >= spine depth %d", sub, maxd, depth)
+		}
 	}
-	if got := depa["om.english.splits"] + depa["om.hebrew.splits"]; got != 0 {
-		t.Errorf("DePa substrate reported %d OM splits, want 0", got)
+}
+
+// TestCordSpineEfficiency pins the PR 8 acceptance numbers on the
+// spine at depth 1500, full mode: the PR 7 flat representation put
+// 1,005,824 bytes into labels and averaged ~24 compare words per
+// query; the prefix-sharing cords must cut both by at least 10x
+// (≤ 100,582 bytes, mean ≤ 2.39 words). The cord arithmetic says
+// ~4501 × 16-byte headers + ~140 × 24-byte shared chunks ≈ 75 KB and
+// a mean within a word or two of 1 — the bounds leave slack for
+// schedule jitter, not for an O(depth) regression.
+func TestCordSpineEfficiency(t *testing.T) {
+	const depth = 1500
+	for _, sub := range []core.Substrate{core.SubstrateDePa, core.SubstrateHybrid} {
+		reg := obsv.NewRegistry()
+		res, err := harness.Run(workload.Spine(depth, 2), harness.Config{
+			Detector: harness.SFOrder,
+			Mode:     harness.Full,
+			Workers:  4,
+			FastPath: true,
+			Reach:    sub,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Races != 0 {
+			t.Fatalf("spine is race-free, %v reported %d races", sub, res.Races)
+		}
+		s := res.Stats
+		if mem := s["depa.label_mem_bytes"]; mem == 0 || mem > 100_582 {
+			t.Errorf("%v: label_mem_bytes = %d, want (0, 100582] (10x under PR 7's 1005824)", sub, mem)
+		}
+		cmps, words := s["depa.compares"], s["depa.compare_words"]
+		if cmps == 0 {
+			t.Fatalf("%v: spine produced no label compares", sub)
+		}
+		// mean = words/cmps ≤ 2.39, checked in integers.
+		if words*100 > cmps*239 {
+			t.Errorf("%v: mean compare words = %d/%d ≈ %.2f, want <= 2.39 (10x under PR 7's ~23.9)",
+				sub, words, cmps, float64(words)/float64(cmps))
+		}
+		if s["depa.chunks"] == 0 {
+			t.Errorf("%v: depth-1500 spine must freeze chunk nodes", sub)
+		}
 	}
-	if depa["depa.labels"] == 0 || depa["depa.label_mem_bytes"] == 0 {
-		t.Error("DePa substrate must account its labels")
+}
+
+// TestHybridDeepChainRace plants two races in a 300-stage future chain
+// — one between shallow strands (flat-path compares under the default
+// threshold), one 150 stages deep (cord-path compares, after the
+// chain's flats have stopped) — and demands all three substrates
+// report exactly the planted addresses, serially and at 4 workers.
+// This is the threshold-crossing case the progen fuzz can't reach at
+// the default HybridDepth.
+func TestHybridDeepChainRace(t *testing.T) {
+	const (
+		stages    = 300
+		shallowAt = 2   // well below DefaultHybridDepth
+		deepAt    = 150 // well past it
+		addrA     = 7   // raced by the shallow stage
+		addrB     = 8   // raced by the deep stage
+	)
+	main := func(t *sched.Task) {
+		rogue := t.Create(func(c *sched.Task) any {
+			c.Write(addrA)
+			c.Write(addrB)
+			return nil
+		})
+		var prev *sched.Future
+		for sg := 0; sg < stages; sg++ {
+			sg, dep := sg, prev
+			prev = t.Create(func(c *sched.Task) any {
+				if dep != nil {
+					c.Get(dep)
+				}
+				c.Write(uint64(100 + sg)) // chain-private, race-free
+				switch sg {
+				case shallowAt:
+					c.Write(addrA)
+				case deepAt:
+					c.Write(addrB)
+				}
+				return nil
+			})
+		}
+		t.Get(prev)
+		t.Get(rogue)
 	}
-	if maxd := depa["depa.max_depth"]; maxd < depth {
-		t.Errorf("depa.max_depth = %d, want >= spine depth %d", maxd, depth)
+	want := []uint64{addrA, addrB}
+	for _, ccfg := range []core.Config{
+		{Reach: core.SubstrateOM},
+		{Reach: core.SubstrateDePa},
+		{Reach: core.SubstrateHybrid}, // default threshold: the real crossover
+	} {
+		for _, workers := range []int{0, 4} {
+			reach := core.New(ccfg)
+			hist := detect.NewHistory(detect.Options{Reach: reach, FastPath: true})
+			opts := sched.Options{Serial: workers == 0, Workers: workers, Tracer: reach, Checker: hist}
+			if _, err := sched.Run(opts, main); err != nil {
+				t.Fatal(err)
+			}
+			if got := hist.RacyAddrs(); !sameAddrs(got, want) {
+				t.Fatalf("reach=%v workers=%d: racy %v, want %v", ccfg.Reach, workers, got, want)
+			}
+		}
 	}
 }

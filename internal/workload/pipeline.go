@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+
+	"sforder/internal/sched"
+)
+
+// Pipeline returns the pipeline-parallel workload: `items` independent
+// streams each flowing through `stages` future stages, with stage s a
+// future that gets stage s-1 — the long future chains of Herlihy &
+// Liu's well-structured futures programs (ROADMAP item 5). Every chain
+// is created from the root strand, so the root's fork path grows by
+// stages×items branch points and the late chains carry the deepest
+// labels in any workload here; each get-ordered stage hand-off then
+// makes full mode query Precedes across exactly those deep labels.
+// Where spine is the compare-depth adversary built from nested spawns,
+// pipeline is the same adversary built the way real streaming programs
+// are. work is the vector length a stage reads and writes per item.
+func Pipeline(stages, items, work int) *Benchmark {
+	if stages < 1 || items < 1 || work < 1 {
+		panic(fmt.Sprintf("workload: Pipeline bad params stages=%d items=%d work=%d", stages, items, work))
+	}
+	return &Benchmark{
+		Name: "pipeline",
+		Desc: "pipeline-parallel future chains (deep-label adversary, Herlihy & Liu shape)",
+		N:    stages,
+		B:    items,
+		Make: func() *Run { return newPipelineRun(stages, items, work) },
+	}
+}
+
+type pipelineState struct {
+	stages, items, work int
+	vals                []int32 // (stages+1) × items × work, row-major by stage
+	want                []int32 // reference of the final stage row
+}
+
+// addr maps stage s, item i, lane k to a shadow address; the layout is
+// one row per stage so each cell has exactly one writer.
+func (s *pipelineState) addr(st, i, k int) uint64 {
+	return uint64(st*s.items*s.work + i*s.work + k)
+}
+
+func (s *pipelineState) at(st, i, k int) *int32 {
+	return &s.vals[st*s.items*s.work+i*s.work+k]
+}
+
+// transform is one stage's per-lane computation, kept nonlinear in the
+// stage number so a skipped or doubled stage cannot verify.
+func transform(v int32, st int) int32 {
+	return (v*5 + int32(st)*7 + 13) % 1009
+}
+
+func newPipelineRun(stages, items, work int) *Run {
+	st := &pipelineState{
+		stages: stages, items: items, work: work,
+		vals: make([]int32, (stages+1)*items*work),
+	}
+	st.want = make([]int32, items*work)
+	for i := 0; i < items; i++ {
+		for k := 0; k < work; k++ {
+			v := int32((i*31 + k*17 + 7) % 1009)
+			for sg := 1; sg <= stages; sg++ {
+				v = transform(v, sg)
+			}
+			st.want[i*work+k] = v
+		}
+	}
+	return &Run{Main: st.main, Verify: st.verify}
+}
+
+func (s *pipelineState) main(t *sched.Task) {
+	// Stage 0: the root materializes every input cell, so each chain's
+	// first read is ordered against a root write.
+	for i := 0; i < s.items; i++ {
+		for k := 0; k < s.work; k++ {
+			t.Write(s.addr(0, i, k))
+			*s.at(0, i, k) = int32((i*31 + k*17 + 7) % 1009)
+		}
+	}
+	tails := make([]*sched.Future, s.items)
+	for i := 0; i < s.items; i++ {
+		var prev *sched.Future
+		for sg := 1; sg <= s.stages; sg++ {
+			i, sg, dep := i, sg, prev
+			prev = t.Create(func(c *sched.Task) any {
+				if dep != nil {
+					c.Get(dep)
+				}
+				s.stage(c, sg, i)
+				return nil
+			})
+		}
+		tails[i] = prev
+	}
+	for i := 0; i < s.items; i++ {
+		t.Get(tails[i])
+		for k := 0; k < s.work; k++ {
+			t.Read(s.addr(s.stages, i, k))
+		}
+	}
+}
+
+// stage computes row sg of item i from row sg-1. The reads are ordered
+// before this strand by the Get chain (stage sg-1 wrote them), which
+// is exactly the deep-label Precedes query full mode must answer.
+func (s *pipelineState) stage(t *sched.Task, sg, i int) {
+	for k := 0; k < s.work; k++ {
+		t.Read(s.addr(sg-1, i, k))
+		t.Write(s.addr(sg, i, k))
+		*s.at(sg, i, k) = transform(*s.at(sg-1, i, k), sg)
+	}
+}
+
+func (s *pipelineState) verify() error {
+	for i := 0; i < s.items; i++ {
+		for k := 0; k < s.work; k++ {
+			if got, want := *s.at(s.stages, i, k), s.want[i*s.work+k]; got != want {
+				return fmt.Errorf("pipeline: out[%d,%d] = %d, want %d", i, k, got, want)
+			}
+		}
+	}
+	return nil
+}

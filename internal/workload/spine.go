@@ -8,7 +8,7 @@ import (
 
 // Spine returns the ABL10 adversarial microbenchmark: a spawn spine of
 // the given depth where every spawned child immediately spawns again
-// before syncing, with `work` instrumented reads per strand. Every
+// before syncing, with `work` instrumented writes per strand. Every
 // spawn batch lands immediately after the previous child in both OM
 // orders, so the whole run hammers one interior point of each list:
 // label gaps halve level after level, forcing bucket splits and
@@ -36,7 +36,11 @@ func newSpineRun(depth, work int) *Run {
 	var descend func(t *sched.Task, d int) int
 	descend = func(t *sched.Task, d int) int {
 		for i := 0; i < work; i++ {
-			t.Read(uint64(d)) // race-free: strands touching d are chained
+			// Race-free: the strands touching d are serially chained, but
+			// every write checks against the previous writer, so full mode
+			// issues Precedes queries between deep neighboring strands —
+			// the compare-depth adversary for label substrates.
+			t.Write(uint64(d))
 		}
 		if d == 0 {
 			t.Write(uint64(depth + 1))

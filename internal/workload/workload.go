@@ -81,9 +81,26 @@ func All(s Scale) []*Benchmark {
 	}
 }
 
-// ByName returns the benchmark with the given name at scale s, or nil.
+// Extras returns the post-paper adversarial workloads at the given
+// scale: spine (the OM-renumber / label-depth adversary, ABL10) and
+// pipeline (the deep future-chain adversary, ABL11). They are kept out
+// of All so the Figure 3-5 tables keep the paper's row set; harness
+// callers opt in (cmd/sforder -extras).
+func Extras(s Scale) []*Benchmark {
+	switch s {
+	case ScaleTest:
+		return []*Benchmark{Spine(60, 2), Pipeline(12, 4, 2)}
+	case ScaleLarge:
+		return []*Benchmark{Spine(5000, 2), Pipeline(1000, 16, 8)}
+	default:
+		return []*Benchmark{Spine(1500, 2), Pipeline(200, 8, 4)}
+	}
+}
+
+// ByName returns the benchmark with the given name at scale s — the
+// paper set and the extras both — or nil.
 func ByName(name string, s Scale) *Benchmark {
-	for _, b := range All(s) {
+	for _, b := range append(All(s), Extras(s)...) {
 		if b.Name == name {
 			return b
 		}

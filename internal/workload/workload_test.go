@@ -12,7 +12,7 @@ import (
 // TestBenchmarksComputeCorrectly runs every benchmark at test scale,
 // serially and in parallel, and checks Verify.
 func TestBenchmarksComputeCorrectly(t *testing.T) {
-	for _, b := range workload.All(workload.ScaleTest) {
+	for _, b := range append(workload.All(workload.ScaleTest), workload.Extras(workload.ScaleTest)...) {
 		b := b
 		t.Run(b.Name+"/serial", func(t *testing.T) {
 			run := b.Make()
@@ -39,7 +39,7 @@ func TestBenchmarksComputeCorrectly(t *testing.T) {
 // SF-Order detector must report nothing on any of them, under both
 // reader policies.
 func TestBenchmarksRaceFree(t *testing.T) {
-	for _, b := range workload.All(workload.ScaleTest) {
+	for _, b := range append(workload.All(workload.ScaleTest), workload.Extras(workload.ScaleTest)...) {
 		for _, policy := range []detect.ReaderPolicy{detect.ReadersAll, detect.ReadersLR} {
 			b, policy := b, policy
 			t.Run(b.Name+"/"+policy.String(), func(t *testing.T) {
@@ -67,7 +67,7 @@ func TestBenchmarksRaceFree(t *testing.T) {
 // TestBenchmarksRaceFreeParallel repeats the race-freedom check under
 // the parallel engine with the full detector attached.
 func TestBenchmarksRaceFreeParallel(t *testing.T) {
-	for _, b := range workload.All(workload.ScaleTest) {
+	for _, b := range append(workload.All(workload.ScaleTest), workload.Extras(workload.ScaleTest)...) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			run := b.Make()
@@ -89,7 +89,7 @@ func TestBenchmarksRaceFreeParallel(t *testing.T) {
 // TestCharacteristicsStable: strand/future counts are deterministic and
 // schedule-independent (the Figure 3 columns).
 func TestCharacteristicsStable(t *testing.T) {
-	for _, b := range workload.All(workload.ScaleTest) {
+	for _, b := range append(workload.All(workload.ScaleTest), workload.Extras(workload.ScaleTest)...) {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			c1, err := sched.Run(sched.Options{Serial: true, CountAccesses: true}, b.Make().Main)
@@ -106,7 +106,9 @@ func TestCharacteristicsStable(t *testing.T) {
 			if c1 != c2 {
 				t.Errorf("counts differ across schedules:\nserial   %+v\nparallel %+v", c1, c2)
 			}
-			if c1.Futures < 2 {
+			// spine is spawn-only by design (the OM/label adversary);
+			// every other workload must create futures.
+			if c1.Futures < 2 && b.Name != "spine" {
 				t.Errorf("benchmark uses no futures: %+v", c1)
 			}
 			if c1.Reads == 0 || c1.Writes == 0 {
@@ -143,11 +145,25 @@ func TestFutureCountsMatchShape(t *testing.T) {
 	if want := uint64(3*8 + 1); c.Futures != want {
 		t.Errorf("hw futures = %d, want %d", c.Futures, want)
 	}
+	// pipeline: stages per item + root.
+	c, err = sched.Run(sched.Options{Serial: true}, workload.Pipeline(12, 4, 2).Make().Main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(12*4 + 1); c.Futures != want {
+		t.Errorf("pipeline futures = %d, want %d", c.Futures, want)
+	}
 }
 
 func TestByNameAndString(t *testing.T) {
 	if workload.ByName("mm", workload.ScaleTest) == nil {
 		t.Fatal("mm not found")
+	}
+	if workload.ByName("spine", workload.ScaleTest) == nil {
+		t.Fatal("spine not found via extras")
+	}
+	if workload.ByName("pipeline", workload.ScaleTest) == nil {
+		t.Fatal("pipeline not found via extras")
 	}
 	if workload.ByName("nope", workload.ScaleTest) != nil {
 		t.Fatal("unexpected benchmark")
@@ -168,6 +184,8 @@ func TestBadParamsPanic(t *testing.T) {
 		func() { workload.SW(65, 16) },
 		func() { workload.HW(0, 1, 64) },
 		func() { workload.Ferret(0, 64) },
+		func() { workload.Pipeline(0, 4, 2) },
+		func() { workload.Pipeline(12, 4, 0) },
 	}
 	for i, f := range cases {
 		func() {

@@ -117,17 +117,26 @@ const (
 	// list pair: O(1) amortized labels, maintenance lock at splits and
 	// renumberings.
 	ReachOM ReachBackend = iota
-	// ReachDePa uses immutable DePa-style fork-path labels: no
-	// relabeling and no maintenance lock, at O(spawn-depth/32) words
-	// per order comparison (ABL10).
+	// ReachDePa uses immutable DePa-style fork-path labels stored as
+	// prefix-sharing cords: no relabeling and no maintenance lock,
+	// O(strands) total label memory, and order comparisons that skip
+	// the shared prefix by pointer equality (ABL10/ABL11).
 	ReachDePa
+	// ReachHybrid is ReachDePa plus packed flat label copies below a
+	// depth threshold, compared directly on shallow-vs-shallow queries
+	// (ABL11).
+	ReachHybrid
 )
 
 func (b ReachBackend) String() string {
-	if b == ReachDePa {
+	switch b {
+	case ReachDePa:
 		return "depa"
+	case ReachHybrid:
+		return "hybrid"
+	default:
+		return "om"
 	}
-	return "om"
 }
 
 // ReaderPolicy selects how many previous readers the access history
@@ -204,7 +213,8 @@ type Config struct {
 	// Backend selects the shadow-table layout for full detection.
 	Backend Backend
 	// Reach selects the SFOrder reachability substrate: the OM list
-	// pair (default) or DePa fork-path labels.
+	// pair (default), DePa fork-path cords, or the depth-adaptive
+	// flat/cord hybrid.
 	Reach ReachBackend
 }
 
@@ -262,8 +272,11 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 	switch cfg.Detector {
 	case SFOrder:
 		ccfg := core.Config{}
-		if cfg.Reach == ReachDePa {
+		switch cfg.Reach {
+		case ReachDePa:
 			ccfg.Reach = core.SubstrateDePa
+		case ReachHybrid:
+			ccfg.Reach = core.SubstrateHybrid
 		}
 		sf := core.New(ccfg)
 		reach, leftOf = sf, sf.LeftOf
