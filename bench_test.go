@@ -12,6 +12,7 @@
 //	BenchmarkAblationDeque        — ABL9: lock-free Chase–Lev scheduler vs mutex deque
 //	BenchmarkAblationReach        — ABL10: English/Hebrew OM pair vs DePa fork-path labels
 //	BenchmarkAblationHybrid       — ABL11: prefix-sharing cords vs OM vs hybrid, worker scaling
+//	BenchmarkReplayScaling        — ABL12: offline replay of recorded captures, shard scaling
 //
 // Benchmark inputs are reduced from the paper's (its testbed ran minutes
 // per cell on a 20-core Xeon); the overhead and memory ratios — the
@@ -21,6 +22,7 @@
 package sforder_test
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -32,7 +34,9 @@ import (
 	"sforder/internal/harness"
 	"sforder/internal/obsv"
 	"sforder/internal/progen"
+	"sforder/internal/replay"
 	"sforder/internal/sched"
+	"sforder/internal/trace"
 	"sforder/internal/workload"
 )
 
@@ -520,6 +524,72 @@ func BenchmarkAblationBitmapVsHash(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkReplayScaling (ABL12): offline replay throughput of recorded
+// captures as the detection-shard count grows. Each workload is
+// recorded once (full online detection with the capture tap attached);
+// the capture is then replayed at 1/2/4/8 shards — and at 16 on the
+// bigger inputs — with the dag rebuilt on the DePa substrate (frozen
+// immutable labels, lock-free queries). Detection work partitions by
+// address hash, so entries-max-shard ≈ entries-total/shards certifies
+// a balanced partition: the wall-clock curve then tracks available
+// cores, machine-independently. The race verdict is checked identical
+// at every width (also pinned by TestReplayDeterministicAcrossWorkers).
+func BenchmarkReplayScaling(b *testing.B) {
+	record := func(bench *workload.Benchmark) *trace.Capture {
+		b.Helper()
+		var buf bytes.Buffer
+		if _, err := harness.Run(bench, harness.Config{
+			Detector: harness.SFOrder, Mode: harness.Full,
+			Workers: harness.DefaultWorkers(), FastPath: true, Record: &buf,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		c, err := trace.Load(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	type entry struct {
+		label   string
+		bench   *workload.Benchmark
+		workers []int
+	}
+	entries := []entry{
+		{"mm", workload.MM(64, 16), []int{1, 2, 4, 8}},
+		{"sort", workload.Sort(20_000, 512), []int{1, 2, 4, 8}},
+		{"sw", workload.SW(128, 16), []int{1, 2, 4, 8}},
+		{"ksweep", workload.KSweep(256, 2000), []int{1, 2, 4, 8}},
+		// Bigger inputs, wider sweep: enough per-location work that 16
+		// shards still amortize their spawn cost.
+		{"mm-large", workload.MM(128, 16), []int{1, 16}},
+		{"sort-large", workload.Sort(100_000, 2048), []int{1, 16}},
+	}
+	for _, e := range entries {
+		c := record(e.bench)
+		for _, w := range e.workers {
+			w := w
+			b.Run(fmt.Sprintf("%s/w%d", e.label, w), func(b *testing.B) {
+				var last *replay.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := replay.Run(c, replay.Options{Workers: w, Reach: core.SubstrateDePa})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.RaceCount != 0 {
+						b.Fatalf("benchmark must replay race-free, got %d races", res.RaceCount)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.Entries), "entries-total")
+				b.ReportMetric(float64(last.MaxShardEntries), "entries-max-shard")
+				b.ReportMetric(float64(last.Queries), "queries")
+			})
+		}
 	}
 }
 

@@ -27,30 +27,35 @@ import (
 	"sforder/internal/detect"
 	"sforder/internal/harness"
 	"sforder/internal/obsv"
+	"sforder/internal/replay"
+	"sforder/internal/trace"
 	"sforder/internal/workload"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "", "table to regenerate: fig3, fig4, fig5, abl")
-		scale     = flag.String("scale", "bench", "input scale: test, bench, large")
-		workers   = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
-		repeats   = flag.Int("repeats", 1, "best-of-N timing repeats")
-		bench     = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret, spine, pipeline")
-		detector  = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
-		mode      = flag.String("mode", "full", "mode for -bench: base, reach, full")
-		policy    = flag.String("policy", "all", "reader policy for full mode: all, lr")
-		jsonOut   = flag.Bool("json", false, "emit the table as JSON instead of text")
-		stats     = flag.Bool("stats", false, "with -bench: print the stats-registry snapshot after the run")
-		traceOut  = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
-		httpAddr  = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
-		dedup     = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
-		fastpath  = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
-		reachSub  = flag.String("reach", "om", "with -bench: SF-Order reachability substrate: om (English/Hebrew lists), depa (prefix-sharing fork-path cords, ABL10/11), or hybrid (depth-adaptive flat+cord, ABL11)")
-		extras    = flag.Bool("extras", false, "append the adversarial extras (spine, pipeline) to -table runs")
-		omglobal  = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
-		noarena   = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
-		lockdeque = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
+		table         = flag.String("table", "", "table to regenerate: fig3, fig4, fig5, abl")
+		scale         = flag.String("scale", "bench", "input scale: test, bench, large")
+		workers       = flag.Int("workers", harness.DefaultWorkers(), "worker count for the TP columns")
+		repeats       = flag.Int("repeats", 1, "best-of-N timing repeats")
+		bench         = flag.String("bench", "", "run one benchmark: mm, sort, sw, hw, ferret, spine, pipeline, ksweep")
+		detector      = flag.String("detector", "sforder", "detector for -bench: sforder, forder, multibags")
+		mode          = flag.String("mode", "full", "mode for -bench: base, reach, full")
+		policy        = flag.String("policy", "all", "reader policy for full mode: all, lr")
+		jsonOut       = flag.Bool("json", false, "emit the table as JSON instead of text")
+		stats         = flag.Bool("stats", false, "with -bench: print the stats-registry snapshot after the run")
+		traceOut      = flag.String("trace", "", "with -bench: write a Chrome trace-event JSON timeline to this file")
+		httpAddr      = flag.String("http", "", "serve /stats, /debug/vars (expvar) and /debug/pprof on this address (e.g. :6060)")
+		dedup         = flag.Bool("dedup", false, "with -bench: report at most one race record per address")
+		fastpath      = flag.Bool("fastpath", true, "with -bench: use the lock-avoiding access-history fast path in full mode")
+		reachSub      = flag.String("reach", "om", "with -bench: SF-Order reachability substrate: om (English/Hebrew lists), depa (prefix-sharing fork-path cords, ABL10/11), or hybrid (depth-adaptive flat+cord, ABL11)")
+		extras        = flag.Bool("extras", false, "append the adversarial extras (spine, pipeline, ksweep) to -table runs")
+		record        = flag.String("record", "", "with -bench: capture the run (dag events + access stream) to this sftrace file for offline -replay")
+		replayIn      = flag.String("replay", "", "replay a capture recorded with -record: rebuild the dag and re-run detection offline, sharded by address")
+		replayWorkers = flag.Int("replayworkers", 0, "with -replay: number of parallel detection shards (0 = GOMAXPROCS)")
+		omglobal      = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
+		noarena       = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
+		lockdeque     = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
 	)
 	flag.Parse()
 
@@ -82,6 +87,8 @@ func main() {
 	}
 
 	switch {
+	case *replayIn != "":
+		runReplay(*replayIn, *replayWorkers, *reachSub, *dedup, *stats, reg)
 	case *table != "":
 		runTable(*table, benches, *workers, *repeats, *scale, *jsonOut)
 	case *bench != "":
@@ -89,6 +96,7 @@ func main() {
 			reg:       reg,
 			stats:     *stats,
 			traceOut:  *traceOut,
+			recordOut: *record,
 			dedup:     *dedup,
 			fastpath:  *fastpath,
 			reach:     *reachSub,
@@ -103,11 +111,56 @@ func main() {
 	}
 }
 
+// runReplay loads an sftrace capture and re-runs detection offline:
+// the dag is rebuilt on the selected reachability substrate, then the
+// access stream is partitioned by address hash across the requested
+// number of shards and detected in parallel (ABL12).
+func runReplay(path string, workers int, reachName string, dedup, stats bool, reg *obsv.Registry) {
+	sub, err := core.ParseSubstrate(reachName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	f, err := os.Open(path)
+	check(err)
+	c, err := trace.Load(f)
+	check(f.Close())
+	if err != nil {
+		fatalf("replay: %s: %v", path, err)
+	}
+	res, err := replay.Run(c, replay.Options{
+		Workers:     workers,
+		Reach:       sub,
+		DedupByAddr: dedup,
+		Stats:       reg,
+	})
+	if err != nil {
+		fatalf("replay: %s: %v", path, err)
+	}
+	fmt.Printf("%s  replay workers=%d reach=%s\n", path, res.Shards, sub)
+	fmt.Printf("  strands    %d\n", res.Strands)
+	fmt.Printf("  futures    %d\n", res.Futures-1)
+	fmt.Printf("  events     %d\n", res.Events)
+	fmt.Printf("  accesses   %d (max shard %d)\n", res.Entries, res.MaxShardEntries)
+	fmt.Printf("  queries    %d\n", res.Queries)
+	fmt.Printf("  races      %d (%d racy addrs)\n", res.RaceCount, len(res.RacyAddrs))
+	fmt.Printf("  rebuild    %v\n", res.Rebuild)
+	fmt.Printf("  detect     %v\n", res.Detect)
+	fmt.Printf("  reach mem  %d bytes\n", res.ReachMemBytes)
+	for _, r := range res.Races {
+		fmt.Printf("  race: %v\n", r)
+	}
+	if stats {
+		fmt.Println("  stats registry:")
+		reg.WriteText(os.Stdout)
+	}
+}
+
 // oneOpts carries the observability knobs of a -bench run.
 type oneOpts struct {
 	reg       *obsv.Registry
 	stats     bool
 	traceOut  string
+	recordOut string
 	dedup     bool
 	fastpath  bool
 	reach     string
@@ -223,10 +276,20 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 		traceFile = f
 		cfg.Trace = obsv.NewTraceWriter(f)
 	}
+	var recordFile *os.File
+	if obs.recordOut != "" {
+		f, err := os.Create(obs.recordOut)
+		check(err)
+		recordFile = f
+		cfg.Record = f
+	}
 	res, err := harness.Run(b, cfg)
 	if cfg.Trace != nil {
 		check(cfg.Trace.Close())
 		check(traceFile.Close())
+	}
+	if recordFile != nil {
+		check(recordFile.Close())
 	}
 	check(err)
 	fmt.Printf("%s  detector=%v mode=%v workers=%d\n", b, det, md, workers)
@@ -241,6 +304,9 @@ func runOne(name string, sc workload.Scale, detector, mode, policy string, worke
 	}
 	if obs.traceOut != "" {
 		fmt.Printf("  trace     %s (chrome://tracing, https://ui.perfetto.dev)\n", obs.traceOut)
+	}
+	if obs.recordOut != "" {
+		fmt.Printf("  record    %s (replay with -replay=%s)\n", obs.recordOut, obs.recordOut)
 	}
 	if obs.stats {
 		fmt.Println("  stats registry:")

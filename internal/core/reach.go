@@ -451,6 +451,19 @@ func (r *Reach) psp(a, b *node) bool {
 // accesses of one strand are serially ordered.
 func (r *Reach) Precedes(u, v *sched.Strand) bool {
 	r.queries.Add(1)
+	return r.precedes(u, v)
+}
+
+// PrecedesUncounted is Precedes without the shared query counter. The
+// counter is a single contended atomic; offline replay workers issuing
+// millions of queries from independent shards use this form so the one
+// shared cache line does not serialize them (each worker counts queries
+// locally and the replay engine sums them afterwards).
+func (r *Reach) PrecedesUncounted(u, v *sched.Strand) bool {
+	return r.precedes(u, v)
+}
+
+func (r *Reach) precedes(u, v *sched.Strand) bool {
 	if u == v {
 		return true
 	}

@@ -312,9 +312,21 @@ func (d *depaSub) psp(u, v *node) bool {
 	return eng && heb
 }
 
+// leftOf answers the English-order query alone through the dedicated
+// depa.LeftOf entry points: the same LCA-skip walk (or flat compare) as
+// rel, minus the Hebrew remap. Counted on the same compare gauges.
 func (d *depaSub) leftOf(u, v *node) bool {
-	eng, _ := d.rel(u, v)
-	return eng
+	var left bool
+	var w int
+	if uf, vf := u.depaFlat(), v.depaFlat(); uf != nil && vf != nil {
+		left, w = depa.LeftOfFlat(uf, vf)
+		d.flatCmps.Add(1)
+	} else {
+		left, w = depa.LeftOf(u.depaLabel(), v.depaLabel())
+	}
+	d.cmps.Add(1)
+	d.cmpWords.Add(uint64(w))
+	return left
 }
 
 func (d *depaSub) memBytes() int { return int(d.labelMem.Load()) }

@@ -6,12 +6,20 @@ import (
 	"io"
 )
 
-// The wire format is a flat JSON document: nodes in ID order, edges in
-// insertion order, futures in ID order. It exists so fuzz failures and
-// interesting executions can be saved, inspected, and replayed by the
-// oracle without re-running the program (sfgen -save / -load).
+// The wire format is a flat JSON document: a format version first, then
+// nodes in ID order, edges in insertion order, futures in ID order. It
+// exists so fuzz failures and interesting executions can be saved,
+// inspected, and replayed by the oracle without re-running the program
+// (sfgen -save / -load).
+
+// WireVersion is the dag wire-format version. Decode rejects any other
+// value, so a stale capture written by an incompatible build fails
+// loudly instead of misdecoding. Bump it whenever the wire layout or
+// its semantics change.
+const WireVersion = 1
 
 type wireGraph struct {
+	Version int          `json:"version"`
 	Nodes   []wireNode   `json:"nodes"`
 	Edges   []wireEdge   `json:"edges"`
 	Futures []wireFuture `json:"futures"`
@@ -47,7 +55,7 @@ func nodeID(n *Node) int {
 // Encode serializes the graph as JSON.
 func (g *Graph) Encode(w io.Writer) error {
 	g.mu.Lock()
-	wire := wireGraph{}
+	wire := wireGraph{Version: WireVersion}
 	for _, n := range g.nodes {
 		wire.Nodes = append(wire.Nodes, wireNode{ID: n.ID, Future: n.Future, Label: n.Label})
 	}
@@ -91,6 +99,10 @@ func Decode(r io.Reader) (*Graph, error) {
 	var wire wireGraph
 	if err := json.NewDecoder(r).Decode(&wire); err != nil {
 		return nil, fmt.Errorf("dag: decode: %w", err)
+	}
+	if wire.Version != WireVersion {
+		return nil, fmt.Errorf("dag: decode: wire version %d, want %d (stale or foreign capture; re-record it)",
+			wire.Version, WireVersion)
 	}
 	g := New()
 	byID := map[int]*Node{}

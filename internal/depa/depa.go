@@ -177,7 +177,24 @@ func (l *Label) Extend(a *Arena, c uint8) *Label {
 // most 31), so deeper words of the longer chain are never decisive and
 // only the equal-length region below the boundary needs walking.
 func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
-	wa, wb := a.tail, b.tail // divergence candidate, shallowest known
+	wa, wb, cmpWords := diverge(a, b)
+	x := wa ^ wb
+	if x == 0 {
+		// No word pair differs anywhere: the labels are identical.
+		return false, false, cmpWords
+	}
+	// First differing component: the 2-bit field holding x's top set bit.
+	sh := 62 - uint(bits.LeadingZeros64(x))&^1
+	qa := wa >> sh & 3
+	qb := wb >> sh & 3
+	return qa < qb, hebOrd[qa] < hebOrd[qb], cmpWords
+}
+
+// diverge is the LCA-skip walk shared by Rel and LeftOf: it returns the
+// shallowest differing word pair of the two cords (wa == wb means the
+// labels are identical) and the number of word pairs examined.
+func diverge(a, b *Label) (wa, wb uint64, cmpWords int) {
+	wa, wb = a.tail, b.tail // divergence candidate, shallowest known
 	cmpWords = 1
 	if ca, cb := a.frozen, b.frozen; ca != cb {
 		// Descend the deeper chain to the shallower's length, capturing
@@ -204,16 +221,22 @@ func Rel(a, b *Label) (eng, heb bool, cmpWords int) {
 			ca, cb = ca.prev, cb.prev
 		}
 	}
+	return wa, wb, cmpWords
+}
+
+// LeftOf reports a ⊏E b alone — the English-order query the ReadersLR
+// reader policy asks (§3.5 leftmost/rightmost maintenance). It reuses
+// the same LCA-skip walk as Rel, stopping at pointer-equal chunks, and
+// decides from the single divergent component without the Hebrew remap.
+// cmpWords counts the word pairs examined (depa.compare_words).
+func LeftOf(a, b *Label) (left bool, cmpWords int) {
+	wa, wb, cmpWords := diverge(a, b)
 	x := wa ^ wb
 	if x == 0 {
-		// No word pair differs anywhere: the labels are identical.
-		return false, false, cmpWords
+		return false, cmpWords
 	}
-	// First differing component: the 2-bit field holding x's top set bit.
 	sh := 62 - uint(bits.LeadingZeros64(x))&^1
-	qa := wa >> sh & 3
-	qb := wb >> sh & 3
-	return qa < qb, hebOrd[qa] < hebOrd[qb], cmpWords
+	return wa>>sh&3 < wb>>sh&3, cmpWords
 }
 
 // ---------------------------------------------------------------------
@@ -283,6 +306,23 @@ func RelFlat(a, b *Flat) (eng, heb bool, cmpWords int) {
 	// filled its last word): the shorter is a proper ancestor and comes
 	// first in both orders.
 	return len(wa) < len(wb), len(wa) < len(wb), min
+}
+
+// LeftOfFlat is LeftOf over flat labels: a front-to-back word compare
+// with no prefix skipping, deciding the English order only.
+func LeftOfFlat(a, b *Flat) (left bool, cmpWords int) {
+	wa, wb := a.words, b.words
+	min := len(wa)
+	if len(wb) < min {
+		min = len(wb)
+	}
+	for i := 0; i < min; i++ {
+		if x := wa[i] ^ wb[i]; x != 0 {
+			sh := 62 - uint(bits.LeadingZeros64(x))&^1
+			return wa[i]>>sh&3 < wb[i]>>sh&3, i + 1
+		}
+	}
+	return len(wa) < len(wb), min
 }
 
 // ---------------------------------------------------------------------

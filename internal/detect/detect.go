@@ -124,6 +124,15 @@ type Options struct {
 	// in RaceCount but not retained as detailed records. Keeps reports
 	// readable on programs with systematic races (e.g. a racy loop).
 	DedupByAddr bool
+	// Tap, when non-nil, additionally receives every access the history
+	// applies — the record hook for offline replay (internal/trace). With
+	// FastPath the tap fires once per flushed batch unit, so recording
+	// costs one call per deduped (addr, kind) group, not one per access;
+	// without it the tap fires per access from the locked slow path. The
+	// entries handed to the tap are exactly the ones the history applies,
+	// after the state-word and batch dedup — a detection-equivalent
+	// access stream at location granularity.
+	Tap AccessTap
 	// FastPath enables the lock-avoiding access path (see fastpath.go):
 	// a per-location published state word absorbing redundant accesses,
 	// per-strand batches applied one lock acquisition per shadow page at
@@ -133,6 +142,16 @@ type Options struct {
 	// are deferred until the engine closes the strand, so a History used
 	// without an engine must call StrandClose itself.
 	FastPath bool
+}
+
+// AccessTap observes the access stream the history applies, batched:
+// addrs[i] was touched by strand s with kinds[i]. Called with the same
+// per-strand ordering guarantees as the history update itself — every
+// tapped access of a strand happens before the tracer event ending that
+// strand (the flush runs inside sched's StrandClose hook). The tap must
+// not retain the slices past the call.
+type AccessTap interface {
+	TapAccesses(s *sched.Strand, addrs []uint64, kinds []AccessKind)
 }
 
 // Backend selects the shadow-memory storage layout.
@@ -385,9 +404,20 @@ func (h *History) Read(s *sched.Strand, addr uint64) {
 	if h.countLocks {
 		h.lockAcquires.Add(1)
 	}
+	if h.opts.Tap != nil {
+		h.tapOne(s, addr, AccessRead)
+	}
 	l, release := h.tbl.acquire(addr)
 	h.applyRead(s, addr, l)
 	release()
+}
+
+// tapOne feeds a single slow-path access to the tap through a stack
+// buffer, keeping the batched TapAccesses signature allocation-free.
+func (h *History) tapOne(s *sched.Strand, addr uint64, kind AccessKind) {
+	addrs := [1]uint64{addr}
+	kinds := [1]AccessKind{kind}
+	h.opts.Tap.TapAccesses(s, addrs[:], kinds[:])
 }
 
 // applyRead performs the read-side history update on l, which the caller
@@ -449,6 +479,9 @@ func (h *History) Write(s *sched.Strand, addr uint64) {
 	}
 	if h.countLocks {
 		h.lockAcquires.Add(1)
+	}
+	if h.opts.Tap != nil {
+		h.tapOne(s, addr, AccessWrite)
 	}
 	l, release := h.tbl.acquire(addr)
 	h.applyWrite(s, addr, l)

@@ -319,6 +319,9 @@ func (h *History) flush(s *sched.Strand, ss *strandState) {
 			h.lockAcquires.Add(1)
 			h.batchFlushes.Add(1)
 		}
+		if h.opts.Tap != nil {
+			h.opts.Tap.TapAccesses(s, ub.addrs, ub.kinds)
+		}
 		// Snapshots are immutable and shared: one {writer: s} for every
 		// write of this flush, and one per last-writer streak for reads
 		// (the same last writer repeats across a streak of locations).

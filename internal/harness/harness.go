@@ -15,6 +15,7 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"sforder/internal/multibags"
 	"sforder/internal/obsv"
 	"sforder/internal/sched"
+	"sforder/internal/trace"
 	"sforder/internal/workload"
 )
 
@@ -123,6 +125,11 @@ type Config struct {
 	// Trace, when non-nil, receives the run's strand timeline in Chrome
 	// trace-event JSON. The caller closes it.
 	Trace *obsv.TraceWriter
+	// Record, when non-nil, captures the run (structure events plus the
+	// deduplicated access stream) in the sftrace format for offline
+	// replay (ABL12). Works in every Mode; the capture is finalized
+	// before Run returns.
+	Record io.Writer
 }
 
 // Result is one measured run.
@@ -195,6 +202,14 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	var rec *trace.Recorder
+	if cfg.Record != nil {
+		rec = trace.NewRecorder(cfg.Record)
+		opts.Aux = rec
+		if cfg.Registry != nil {
+			rec.RegisterStats(cfg.Registry)
+		}
+	}
 	if cfg.Mode == Full {
 		hopts := detect.Options{
 			Reach:       reach,
@@ -202,6 +217,9 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 			Backend:     cfg.Backend,
 			DedupByAddr: cfg.DedupByAddr,
 			FastPath:    cfg.FastPath,
+		}
+		if rec != nil {
+			hopts.Tap = rec
 		}
 		if cfg.Policy == detect.ReadersLR {
 			if leftOf == nil {
@@ -223,6 +241,11 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 			opts.Checker = hist
 		}
 	}
+	if rec != nil && hist == nil {
+		// Base and Reach modes have no access history to tap; the
+		// recorder observes the access stream directly.
+		opts.Checker = rec
+	}
 
 	if release != nil {
 		// The measurement keeps no strand pointers — Result carries only
@@ -235,6 +258,11 @@ func Run(b *workload.Benchmark, cfg Config) (*Result, error) {
 	start := time.Now()
 	counts, err := sched.Run(opts, run.Main)
 	elapsed := time.Since(start)
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("record: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s %v/%v: %w", b.Name, cfg.Detector, cfg.Mode, err)
 	}

@@ -1,0 +1,473 @@
+// Package replay re-runs race detection offline from an sftrace capture
+// (internal/trace), decoupling detection cost from the traced program:
+// record once, detect anywhere, with parallelism bounded by the replay
+// worker count instead of the program's span.
+//
+// Replay has two phases:
+//
+//  1. Rebuild. The capture's structure events are fed, in file order,
+//     through the pluggable reachability substrate (internal/core — OM
+//     lists, DePa cords, or the hybrid) exactly as the online tracer
+//     would have been. File order is a happens-before-consistent
+//     linearization of the run (see internal/trace), so every Tracer
+//     precondition holds. The rebuild is serial; it is a tiny fraction
+//     of detection work, and after it the reachability state is
+//     read-only — with the DePa substrate, a set of frozen immutable
+//     labels any number of workers can query lock-free.
+//
+//  2. Sharded detection. Access entries are partitioned by address hash
+//     across P workers. Each worker owns a disjoint shadow-state shard —
+//     a private last-writer/readers table for exactly the addresses that
+//     hash to it — so the hot loop takes no locks, publishes no state
+//     words, and shares nothing with other workers but the read-only
+//     reachability structures and the capture itself. Per-location
+//     detection is what the online detector guarantees (a race is
+//     reported on a location iff one exists there), and every location
+//     lives wholly inside one shard, so sharding changes no verdict
+//     (DESIGN.md §4). Races merge deterministically at the end.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/obsv"
+	"sforder/internal/sched"
+	"sforder/internal/trace"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// Workers is the number of detection shards/workers; 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Reach selects the reachability substrate the dag is rebuilt on.
+	// SubstrateDePa is the natural offline choice (frozen immutable
+	// labels, lock-free queries); all three work.
+	Reach core.Substrate
+	// HybridDepth is the SubstrateHybrid switchover depth (0 = default).
+	HybridDepth int
+	// MaxRaces caps retained detailed race records (0 = 256), applied
+	// after the deterministic merge.
+	MaxRaces int
+	// DedupByAddr retains at most one detailed record per address.
+	// Exact under sharding: an address's accesses all land in one shard.
+	DedupByAddr bool
+	// Stats, when non-nil, receives the replay.* gauges.
+	Stats *obsv.Registry
+}
+
+// Result reports a completed replay.
+type Result struct {
+	// Races holds up to MaxRaces detailed reports after the
+	// deterministic merge; RaceCount is the total number detected.
+	Races     []detect.Race
+	RaceCount uint64
+	// RacyAddrs is the sorted set of addresses with at least one race —
+	// the location-level verdict compared against online detection.
+	RacyAddrs []uint64
+	// Strands and Futures describe the replayed dag.
+	Strands uint64
+	Futures uint64
+	// Events and Entries count structure events and access entries.
+	Events  uint64
+	Entries uint64
+	// Queries is the number of Precedes queries across all workers.
+	Queries uint64
+	// Shards is the worker count used; MaxShardEntries the largest
+	// number of access entries any one shard processed (shard balance:
+	// MaxShardEntries ≈ Entries/Shards means near-perfect partitioning).
+	Shards          int
+	MaxShardEntries uint64
+	// Rebuild and Detect are the wall-clock times of the two phases.
+	Rebuild time.Duration
+	Detect  time.Duration
+	// ReachMemBytes estimates the rebuilt reachability footprint.
+	ReachMemBytes int
+}
+
+// ShardOf returns the detection shard owning addr among p shards: the
+// same Fibonacci hash the shadow tables use, reduced modulo p. Exported
+// so tests can construct racing pairs that straddle a shard boundary.
+func ShardOf(addr uint64, p int) int {
+	return int((addr * 0x9e3779b97f4a7c15) >> 32 % uint64(p))
+}
+
+// rebuild replays the structure events through a fresh Reach,
+// reconstructing strand and future identities. It returns the synthetic
+// strands so detection can hand them to Precedes.
+func rebuild(c *trace.Capture, r *core.Reach) ([]*sched.Strand, error) {
+	// Dense-ID sanity: a structurally consistent capture introduces at
+	// most 3 strands and 1 future per event. Bounds the allocation on
+	// adversarial inputs before trusting the decoded maxima.
+	if c.Strands > 3*uint64(len(c.Events))+1 || uint64(c.Futures) > uint64(len(c.Events))+1 {
+		return nil, fmt.Errorf("replay: capture names %d strands/%d futures across %d events (corrupt capture)",
+			c.Strands, c.Futures, len(c.Events))
+	}
+	strands := make([]*sched.Strand, c.Strands)
+	futs := make([]*sched.FutureTask, c.Futures)
+	need := func(i int, id uint64) (*sched.Strand, error) {
+		if id >= uint64(len(strands)) || strands[id] == nil {
+			return nil, fmt.Errorf("replay: event %d: strand %d referenced before introduction", i, id)
+		}
+		return strands[id], nil
+	}
+	intro := func(i int, id uint64, f *sched.FutureTask) (*sched.Strand, error) {
+		if id >= uint64(len(strands)) {
+			return nil, fmt.Errorf("replay: event %d: strand %d out of range", i, id)
+		}
+		if strands[id] != nil {
+			return nil, fmt.Errorf("replay: event %d: strand %d introduced twice", i, id)
+		}
+		s := &sched.Strand{ID: id, Fut: f}
+		strands[id] = s
+		return s, nil
+	}
+	needFut := func(i, id int) (*sched.FutureTask, error) {
+		if id < 0 || id >= len(futs) || futs[id] == nil {
+			return nil, fmt.Errorf("replay: event %d: future %d referenced before creation", i, id)
+		}
+		return futs[id], nil
+	}
+	for i, ev := range c.Events {
+		switch ev.Op {
+		case trace.OpRoot:
+			if i != 0 || futs[0] != nil {
+				return nil, fmt.Errorf("replay: event %d: misplaced root", i)
+			}
+			f := &sched.FutureTask{ID: 0}
+			futs[0] = f
+			root, err := intro(i, ev.U, f)
+			if err != nil {
+				return nil, err
+			}
+			r.OnRoot(root)
+		case trace.OpSpawn:
+			u, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			child, err := intro(i, ev.A, u.Fut)
+			if err != nil {
+				return nil, err
+			}
+			cont, err := intro(i, ev.B, u.Fut)
+			if err != nil {
+				return nil, err
+			}
+			var ph *sched.Strand
+			if ev.Placeholder > 0 {
+				if ph, err = intro(i, ev.Placeholder-1, u.Fut); err != nil {
+					return nil, err
+				}
+			}
+			r.OnSpawn(u, child, cont, ph)
+		case trace.OpCreate:
+			u, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			parent, err := needFut(i, ev.FutParent)
+			if err != nil {
+				return nil, err
+			}
+			if ev.Fut < 0 || ev.Fut >= len(futs) || futs[ev.Fut] != nil {
+				return nil, fmt.Errorf("replay: event %d: future %d out of range or created twice", i, ev.Fut)
+			}
+			f := &sched.FutureTask{ID: ev.Fut, Parent: parent}
+			futs[ev.Fut] = f
+			first, err := intro(i, ev.A, f)
+			if err != nil {
+				return nil, err
+			}
+			cont, err := intro(i, ev.B, u.Fut)
+			if err != nil {
+				return nil, err
+			}
+			var ph *sched.Strand
+			if ev.Placeholder > 0 {
+				if ph, err = intro(i, ev.Placeholder-1, u.Fut); err != nil {
+					return nil, err
+				}
+			}
+			r.OnCreate(u, first, cont, ph, f)
+		case trace.OpSync:
+			k, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			// The sync strand is the placeholder introduced at the
+			// region's first branch; regions that never allocated one
+			// (the implicit sync of a branch-free body) introduce it here.
+			var s *sched.Strand
+			if ev.A < uint64(len(strands)) && strands[ev.A] != nil {
+				s = strands[ev.A]
+			} else if s, err = intro(i, ev.A, k.Fut); err != nil {
+				return nil, err
+			}
+			sinks := make([]*sched.Strand, len(ev.Sinks))
+			for j, id := range ev.Sinks {
+				if sinks[j], err = need(i, id); err != nil {
+					return nil, err
+				}
+			}
+			r.OnSync(k, s, sinks)
+		case trace.OpReturn:
+			sink, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			r.OnReturn(sink)
+		case trace.OpPut:
+			sink, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			f, err := needFut(i, ev.Fut)
+			if err != nil {
+				return nil, err
+			}
+			f.SetLast(sink)
+			r.OnPut(sink, f)
+		case trace.OpGet:
+			u, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			f, err := needFut(i, ev.Fut)
+			if err != nil {
+				return nil, err
+			}
+			if f.Last() == nil {
+				return nil, fmt.Errorf("replay: event %d: get of future %d before its put", i, ev.Fut)
+			}
+			g, err := intro(i, ev.A, u.Fut)
+			if err != nil {
+				return nil, err
+			}
+			r.OnGet(u, g, f)
+		default:
+			return nil, fmt.Errorf("replay: event %d: unexpected op %v", i, ev.Op)
+		}
+	}
+	return strands, nil
+}
+
+// wloc is one location's shadow state inside a worker's private shard.
+type wloc struct {
+	lastWriter *sched.Strand
+	readers    []*sched.Strand
+}
+
+// memoBits sizes the per-worker direct-mapped Precedes memo.
+const memoBits = 14
+
+// worker is one detection shard: private shadow state, private memo,
+// private results. Nothing here is touched by any other goroutine.
+type worker struct {
+	id      int
+	locs    map[uint64]*wloc
+	memoU   []uint64 // key: u.ID+1 (0 = empty)
+	memoV   []uint64 // key: v.ID
+	memoOK  []bool
+	races   []detect.Race
+	racy    map[uint64]bool
+	count   uint64
+	queries uint64
+	entries uint64
+}
+
+func (w *worker) precedes(r *core.Reach, u, v *sched.Strand) bool {
+	i := (u.ID*0x9e3779b97f4a7c15 ^ v.ID*0xc2b2ae3d27d4eb4f) >> (64 - memoBits)
+	if w.memoU[i] == u.ID+1 && w.memoV[i] == v.ID {
+		return w.memoOK[i]
+	}
+	w.queries++
+	ok := r.PrecedesUncounted(u, v)
+	w.memoU[i], w.memoV[i], w.memoOK[i] = u.ID+1, v.ID, ok
+	return ok
+}
+
+func (w *worker) report(addr uint64, prev *sched.Strand, prevKind detect.AccessKind, cur *sched.Strand, curKind detect.AccessKind, dedup bool) {
+	w.count++
+	if w.racy[addr] {
+		if dedup {
+			return
+		}
+	} else {
+		w.racy[addr] = true
+	}
+	w.races = append(w.races, detect.Race{
+		Addr:       addr,
+		PrevStrand: prev.ID,
+		CurStrand:  cur.ID,
+		PrevFuture: prev.Fut.ID,
+		CurFuture:  cur.Fut.ID,
+		Prev:       prevKind,
+		Cur:        curKind,
+	})
+}
+
+// apply runs the online history's per-location algorithm (ReadersAll
+// policy) on the worker's private shard.
+func (w *worker) apply(r *core.Reach, s *sched.Strand, addr uint64, kind detect.AccessKind, dedup bool) {
+	w.entries++
+	l := w.locs[addr]
+	if l == nil {
+		l = &wloc{}
+		w.locs[addr] = l
+	}
+	if lw := l.lastWriter; lw != nil && lw != s && !w.precedes(r, lw, s) {
+		w.report(addr, lw, detect.AccessWrite, s, kind, dedup)
+	}
+	if kind == detect.AccessRead {
+		if n := len(l.readers); n == 0 || l.readers[n-1] != s {
+			l.readers = append(l.readers, s)
+		}
+		return
+	}
+	for _, rd := range l.readers {
+		if rd != s && !w.precedes(r, rd, s) {
+			w.report(addr, rd, detect.AccessRead, s, detect.AccessWrite, dedup)
+		}
+	}
+	l.readers = l.readers[:0]
+	l.lastWriter = s
+}
+
+// Run replays a capture and returns the offline detection result.
+func Run(c *trace.Capture, opts Options) (*Result, error) {
+	p := opts.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	maxRaces := opts.MaxRaces
+	if maxRaces == 0 {
+		maxRaces = 256
+	}
+	reach := core.New(core.Config{Reach: opts.Reach, HybridDepth: opts.HybridDepth})
+	if opts.Stats != nil {
+		reach.RegisterStats(opts.Stats)
+	}
+
+	rebuildStart := time.Now()
+	strands, err := rebuild(c, reach)
+	if err != nil {
+		return nil, err
+	}
+	rebuildElapsed := time.Since(rebuildStart)
+
+	// Pre-check block strand references once, so workers can index
+	// without validating.
+	for _, b := range c.Blocks {
+		if b.Strand >= uint64(len(strands)) || strands[b.Strand] == nil {
+			return nil, fmt.Errorf("replay: access block names unknown strand %d", b.Strand)
+		}
+	}
+
+	detectStart := time.Now()
+	workers := make([]*worker, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		w := &worker{
+			id:     i,
+			locs:   map[uint64]*wloc{},
+			memoU:  make([]uint64, 1<<memoBits),
+			memoV:  make([]uint64, 1<<memoBits),
+			memoOK: make([]bool, 1<<memoBits),
+			racy:   map[uint64]bool{},
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker scans the whole (read-only) capture and applies
+			// only its own shard's entries: no partitioning pass, no
+			// queues, no synchronization on the hot loop.
+			for _, b := range c.Blocks {
+				s := strands[b.Strand]
+				for j, addr := range b.Addrs {
+					if ShardOf(addr, p) != w.id {
+						continue
+					}
+					w.apply(reach, s, addr, b.Kinds[j], opts.DedupByAddr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	detectElapsed := time.Since(detectStart)
+
+	res := &Result{
+		Strands: c.Strands,
+		Futures: uint64(c.Futures),
+		Events:  uint64(len(c.Events)),
+		Entries: c.Entries,
+		Shards:  p,
+		Rebuild: rebuildElapsed,
+		Detect:  detectElapsed,
+	}
+	for _, w := range workers {
+		res.RaceCount += w.count
+		res.Queries += w.queries
+		if w.entries > res.MaxShardEntries {
+			res.MaxShardEntries = w.entries
+		}
+		res.Races = append(res.Races, w.races...)
+		for a := range w.racy {
+			res.RacyAddrs = append(res.RacyAddrs, a)
+		}
+	}
+	// Deterministic merge: the per-worker orders depend only on file
+	// order, so sorting by (addr, strand pair, kinds) makes the final
+	// report independent of worker interleaving and worker count.
+	sort.Slice(res.Races, func(i, j int) bool {
+		a, b := res.Races[i], res.Races[j]
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		if a.PrevStrand != b.PrevStrand {
+			return a.PrevStrand < b.PrevStrand
+		}
+		if a.CurStrand != b.CurStrand {
+			return a.CurStrand < b.CurStrand
+		}
+		return a.Prev < b.Prev
+	})
+	if len(res.Races) > maxRaces {
+		res.Races = res.Races[:maxRaces]
+	}
+	sort.Slice(res.RacyAddrs, func(i, j int) bool { return res.RacyAddrs[i] < res.RacyAddrs[j] })
+	res.ReachMemBytes = reach.MemBytes()
+
+	if opts.Stats != nil {
+		registerStats(opts.Stats, res, c)
+	}
+	return res, nil
+}
+
+// registerStats publishes the replay.* gauges for a completed run.
+func registerStats(reg *obsv.Registry, res *Result, c *trace.Capture) {
+	vals := map[string]int64{
+		"replay.events":            int64(res.Events),
+		"replay.entries":           int64(res.Entries),
+		"replay.blocks":            int64(len(c.Blocks)),
+		"replay.shards":            int64(res.Shards),
+		"replay.max_shard_entries": int64(res.MaxShardEntries),
+		"replay.bytes":             c.Bytes,
+		"replay.wall_ns":           int64(res.Rebuild + res.Detect),
+		"replay.rebuild_ns":        int64(res.Rebuild),
+		"replay.detect_ns":         int64(res.Detect),
+		"replay.queries":           int64(res.Queries),
+		"replay.races":             int64(res.RaceCount),
+	}
+	for name, v := range vals {
+		v := v
+		reg.RegisterFunc(name, func() int64 { return v })
+	}
+}

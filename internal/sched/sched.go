@@ -104,6 +104,13 @@ type FutureTask struct {
 // Last returns the task's put strand (nil until the task completes).
 func (f *FutureTask) Last() *Strand { return f.last }
 
+// SetLast records the task's put strand. The engine assigns last itself
+// when a body completes; SetLast exists for code that reconstructs
+// futures outside the engine — the offline replay (internal/replay)
+// rebuilds each FutureTask from a capture and must re-establish the put
+// strand before feeding the corresponding get event to a Tracer.
+func (f *FutureTask) SetLast(s *Strand) { f.last = s }
+
 // Future is the user-visible handle returned by Task.Create.
 type Future struct{ ft *FutureTask }
 
@@ -242,6 +249,12 @@ type Options struct {
 	// Off by default: the unchecked paths stay free of the site-capture
 	// and visibility-horizon bookkeeping.
 	CheckStructure bool
+	// Aux, when non-nil, receives every dag-construction event alongside
+	// the primary Tracer, always through the plain (non-lane) methods —
+	// the hook trace recorders attach to without disturbing the primary
+	// tracer's LaneTracer routing. Like the Chrome trace adapter it is
+	// fed after the lane-aware tracer at each event site.
+	Aux Tracer
 	// Stats, when non-nil, receives the engine's execution counters as
 	// live gauges under sched.* names at the start of Run; the registry
 	// may be snapshotted while the run is in flight. Nil costs nothing.
@@ -331,13 +344,27 @@ func Run(opts Options, main func(*Task)) (Counts, error) {
 		}
 		lt.SetLanes(lanes)
 	}
+	// Auxiliary tracers (Options.Aux, the Chrome trace adapter) ride
+	// alongside the primary tracer: appended to the plain chain, and —
+	// when the primary is lane-routed — fed separately by the emit*
+	// helpers so lane routing is undisturbed.
+	var aux []Tracer
+	if opts.Aux != nil {
+		aux = append(aux, opts.Aux)
+	}
 	if opts.Trace != nil {
-		tt := &traceTracer{tw: opts.Trace}
-		e.auxTracer = tt
+		aux = append(aux, &traceTracer{tw: opts.Trace})
+	}
+	if len(aux) > 0 {
+		var at Tracer = MultiTracer(aux)
+		if len(aux) == 1 {
+			at = aux[0]
+		}
+		e.auxTracer = at
 		if e.tracer != nil {
-			e.tracer = MultiTracer{e.tracer, tt}
+			e.tracer = MultiTracer{e.tracer, at}
 		} else {
-			e.tracer = tt
+			e.tracer = at
 		}
 	}
 	if opts.Stats != nil {

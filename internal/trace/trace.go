@@ -1,0 +1,547 @@
+// Package trace implements the sftrace capture format: a recorded
+// execution of a structured-futures program, sufficient to re-run race
+// detection offline (internal/replay) without re-executing the program.
+//
+// A capture is two interleaved streams in one file:
+//
+//   - Structure events — the dag-construction events a sched.Tracer
+//     observes (root/spawn/create/sync/return/put/get), with strand and
+//     future IDs instead of pointers. Replay feeds these through a
+//     reachability substrate to rebuild the SF-dag's precedence oracle.
+//   - Access events — per-strand blocks of (addr, kind) pairs, tapped
+//     from the detector's batched flush (detect.Options.Tap), so
+//     recording costs one append per deduped (addr, kind) pair.
+//
+// The recorder serializes all events through one mutex, so the file
+// order is a valid happens-before-consistent linearization of the run:
+// the event introducing a strand precedes every event naming it, a
+// strand's access blocks precede the event ending it (the tap fires
+// inside sched's StrandClose hook, which runs before the strand-ending
+// tracer event), and a future's put precedes its gets. Replay relies on
+// exactly these properties and nothing stronger.
+//
+// # Wire format
+//
+// Everything after the fixed header is unsigned varints (encoding/binary
+// Uvarint). The header is:
+//
+//	offset 0: 8-byte magic "sftrace\n"
+//	offset 8: 4-byte byte-order marker 04 03 02 01 (0x01020304 little-
+//	          endian) — fixed-width fields, if ever added, are little-
+//	          endian, and a byte-swapped capture fails loudly here
+//	then:     uvarint format version (currently 1)
+//
+// Events follow, each one op byte then op-specific uvarint fields; see
+// the op constants. The stream must end with opEnd carrying the
+// structure-event and access-entry counts, so a truncated capture is
+// detected instead of silently decoding a prefix.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"sforder/internal/detect"
+	"sforder/internal/obsv"
+	"sforder/internal/sched"
+)
+
+// Version is the sftrace format version. Load rejects any other value,
+// so a stale capture written by an incompatible build fails loudly.
+// Bump it whenever the wire layout or its semantics change.
+const Version = 1
+
+var (
+	magic    = [8]byte{'s', 'f', 't', 'r', 'a', 'c', 'e', '\n'}
+	byteMark = [4]byte{0x04, 0x03, 0x02, 0x01} // 0x01020304 little-endian
+)
+
+// Op identifies one event kind in the capture stream.
+type Op uint8
+
+const (
+	OpRoot   Op = iota // U = root strand (future 0)
+	OpSpawn            // U, A = child, B = cont, Placeholder
+	OpCreate           // U, A = first, B = cont, Placeholder, Fut, FutParent
+	OpSync             // U = k, A = sync strand, Sinks
+	OpReturn           // U = sink
+	OpPut              // U = sink, Fut
+	OpGet              // U, A = get strand, Fut
+	opAccess           // strand, n, kind bits, n addrs — decoded to AccessBlock
+	opEnd              // struct-event count, access-entry count
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRoot:
+		return "root"
+	case OpSpawn:
+		return "spawn"
+	case OpCreate:
+		return "create"
+	case OpSync:
+		return "sync"
+	case OpReturn:
+		return "return"
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case opAccess:
+		return "access"
+	case opEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Event is one decoded structure event. Field meaning depends on Op (see
+// the op constants); unused fields are zero. Placeholder holds the join
+// strand's ID plus one, with zero meaning none — strand 0 is the root
+// and never a placeholder, but the +1 keeps the encoding uniform.
+type Event struct {
+	Op          Op
+	U, A, B     uint64
+	Placeholder uint64 // join strand ID + 1; 0 = none
+	Fut         int
+	FutParent   int
+	Sinks       []uint64
+}
+
+// AccessBlock is one strand's tapped accesses: Addrs[i] was touched with
+// Kinds[i]. A strand may contribute several blocks (early flushes).
+type AccessBlock struct {
+	Strand uint64
+	Addrs  []uint64
+	Kinds  []detect.AccessKind
+}
+
+// Capture is a fully decoded sftrace file. Events and Blocks each
+// preserve file order; Seq records the global interleaving (for tools
+// that need it, replay does not).
+type Capture struct {
+	Events  []Event       // structure events, file order
+	Blocks  []AccessBlock // access blocks, file order
+	Strands uint64        // 1 + the largest strand ID named anywhere
+	Futures int           // 1 + the largest future ID named anywhere
+	Entries uint64        // total access entries across Blocks
+	Bytes   int64         // encoded size consumed
+}
+
+// Recorder writes a capture. It implements sched.Tracer (attach via
+// sched.Options.Aux so the primary tracer's lane routing is untouched)
+// and detect.AccessTap (attach via detect.Options.Tap). For runs
+// without an access history it also implements sched.AccessChecker +
+// sched.StrandCloser directly, with its own per-strand (addr, kind)
+// dedup, so a program can be recorded without paying for detection.
+//
+// All methods are safe for concurrent use; Close must be called once,
+// after the run, to write the trailer and flush.
+type Recorder struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	buf    []byte
+	err    error
+	closed bool
+
+	structEvents  uint64
+	accessBlocks  uint64
+	accessEntries uint64
+	bytes         uint64
+}
+
+// NewRecorder starts a capture on w, writing the header immediately.
+func NewRecorder(w io.Writer) *Recorder {
+	r := &Recorder{w: bufio.NewWriterSize(w, 1<<16)}
+	r.buf = append(r.buf, magic[:]...)
+	r.buf = append(r.buf, byteMark[:]...)
+	r.buf = binary.AppendUvarint(r.buf, Version)
+	r.emit()
+	return r
+}
+
+// emit writes and resets r.buf; the caller holds r.mu (or, for the
+// constructor, exclusive access).
+func (r *Recorder) emit() {
+	if r.err != nil || r.closed {
+		r.buf = r.buf[:0]
+		return
+	}
+	n, err := r.w.Write(r.buf)
+	r.bytes += uint64(n)
+	if err != nil {
+		r.err = err
+	}
+	r.buf = r.buf[:0]
+}
+
+func (r *Recorder) structEvent(op Op, fields ...uint64) {
+	r.mu.Lock()
+	r.buf = append(r.buf, byte(op))
+	for _, f := range fields {
+		r.buf = binary.AppendUvarint(r.buf, f)
+	}
+	r.structEvents++
+	r.emit()
+	r.mu.Unlock()
+}
+
+func phField(placeholder *sched.Strand) uint64 {
+	if placeholder == nil {
+		return 0
+	}
+	return placeholder.ID + 1
+}
+
+// OnRoot implements sched.Tracer.
+func (r *Recorder) OnRoot(root *sched.Strand) {
+	r.structEvent(OpRoot, root.ID)
+}
+
+// OnSpawn implements sched.Tracer.
+func (r *Recorder) OnSpawn(u, child, cont, placeholder *sched.Strand) {
+	r.structEvent(OpSpawn, u.ID, child.ID, cont.ID, phField(placeholder))
+}
+
+// OnCreate implements sched.Tracer.
+func (r *Recorder) OnCreate(u, first, cont, placeholder *sched.Strand, f *sched.FutureTask) {
+	parent := uint64(0)
+	if f.Parent != nil {
+		parent = uint64(f.Parent.ID)
+	}
+	r.structEvent(OpCreate, u.ID, first.ID, cont.ID, phField(placeholder), uint64(f.ID), parent)
+}
+
+// OnSync implements sched.Tracer.
+func (r *Recorder) OnSync(k, s *sched.Strand, childSinks []*sched.Strand) {
+	r.mu.Lock()
+	r.buf = append(r.buf, byte(OpSync))
+	r.buf = binary.AppendUvarint(r.buf, k.ID)
+	r.buf = binary.AppendUvarint(r.buf, s.ID)
+	r.buf = binary.AppendUvarint(r.buf, uint64(len(childSinks)))
+	for _, c := range childSinks {
+		r.buf = binary.AppendUvarint(r.buf, c.ID)
+	}
+	r.structEvents++
+	r.emit()
+	r.mu.Unlock()
+}
+
+// OnReturn implements sched.Tracer.
+func (r *Recorder) OnReturn(sink *sched.Strand) {
+	r.structEvent(OpReturn, sink.ID)
+}
+
+// OnPut implements sched.Tracer.
+func (r *Recorder) OnPut(sink *sched.Strand, f *sched.FutureTask) {
+	r.structEvent(OpPut, sink.ID, uint64(f.ID))
+}
+
+// OnGet implements sched.Tracer.
+func (r *Recorder) OnGet(u, g *sched.Strand, f *sched.FutureTask) {
+	r.structEvent(OpGet, u.ID, g.ID, uint64(f.ID))
+}
+
+// TapAccesses implements detect.AccessTap: one access block per flushed
+// batch unit. The kind stream is packed one bit per entry (write = 1).
+func (r *Recorder) TapAccesses(s *sched.Strand, addrs []uint64, kinds []detect.AccessKind) {
+	if len(addrs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.writeBlockLocked(s.ID, addrs, kinds)
+	r.mu.Unlock()
+}
+
+func (r *Recorder) writeBlockLocked(strand uint64, addrs []uint64, kinds []detect.AccessKind) {
+	r.buf = append(r.buf, byte(opAccess))
+	r.buf = binary.AppendUvarint(r.buf, strand)
+	r.buf = binary.AppendUvarint(r.buf, uint64(len(addrs)))
+	var bits, n uint8
+	for _, k := range kinds {
+		if k == detect.AccessWrite {
+			bits |= 1 << n
+		}
+		if n++; n == 8 {
+			r.buf = append(r.buf, bits)
+			bits, n = 0, 0
+		}
+	}
+	if n > 0 {
+		r.buf = append(r.buf, bits)
+	}
+	for _, a := range addrs {
+		r.buf = binary.AppendUvarint(r.buf, a)
+	}
+	r.accessBlocks++
+	r.accessEntries += uint64(len(addrs))
+	r.emit()
+}
+
+// recState is the per-strand dedup state of the standalone checker mode,
+// hung off Strand.Aux (free in that mode: no History owns it).
+type recState struct {
+	seen  map[uint64]uint8
+	addrs []uint64
+	kinds []detect.AccessKind
+}
+
+var recPool = sync.Pool{New: func() any {
+	return &recState{seen: map[uint64]uint8{}}
+}}
+
+func recStateOf(s *sched.Strand) *recState {
+	if rs, ok := s.Aux.(*recState); ok {
+		return rs
+	}
+	rs := recPool.Get().(*recState)
+	s.Aux = rs
+	return rs
+}
+
+const (
+	recRead  = uint8(1) << detect.AccessRead
+	recWrite = uint8(1) << detect.AccessWrite
+)
+
+// Read implements sched.AccessChecker for detection-free recording: the
+// access is buffered per strand, deduplicated by the StrandFilter rules
+// (a read is subsumed by any earlier same-strand access to the address,
+// a write by an earlier same-strand write), and emitted at strand close.
+func (r *Recorder) Read(s *sched.Strand, addr uint64) { r.record(s, addr, detect.AccessRead) }
+
+// Write implements sched.AccessChecker; see Read.
+func (r *Recorder) Write(s *sched.Strand, addr uint64) { r.record(s, addr, detect.AccessWrite) }
+
+func (r *Recorder) record(s *sched.Strand, addr uint64, kind detect.AccessKind) {
+	rs := recStateOf(s)
+	m := rs.seen[addr]
+	if m&(uint8(1)<<kind) != 0 || (kind == detect.AccessRead && m&recWrite != 0) {
+		return
+	}
+	rs.seen[addr] = m | uint8(1)<<kind
+	rs.addrs = append(rs.addrs, addr)
+	rs.kinds = append(rs.kinds, kind)
+}
+
+// StrandClose implements sched.StrandCloser for the standalone checker
+// mode: the strand's buffered accesses become one block.
+func (r *Recorder) StrandClose(s *sched.Strand) {
+	rs, ok := s.Aux.(*recState)
+	if !ok {
+		return
+	}
+	s.Aux = nil
+	if len(rs.addrs) > 0 {
+		r.mu.Lock()
+		r.writeBlockLocked(s.ID, rs.addrs, rs.kinds)
+		r.mu.Unlock()
+	}
+	if len(rs.seen) <= 1<<14 {
+		clear(rs.seen)
+		rs.addrs, rs.kinds = rs.addrs[:0], rs.kinds[:0]
+		recPool.Put(rs)
+	}
+}
+
+// Close writes the trailer and flushes. The capture is invalid without
+// it; Load rejects trailer-less files as truncated.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.err
+	}
+	r.buf = append(r.buf, byte(opEnd))
+	r.buf = binary.AppendUvarint(r.buf, r.structEvents)
+	r.buf = binary.AppendUvarint(r.buf, r.accessEntries)
+	r.emit()
+	if err := r.w.Flush(); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.closed = true
+	return r.err
+}
+
+// Err returns the first write error, if any.
+func (r *Recorder) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Bytes returns how many bytes have been emitted so far.
+func (r *Recorder) Bytes() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// RegisterStats publishes the recorder counters (record.*) on reg.
+func (r *Recorder) RegisterStats(reg *obsv.Registry) {
+	reg.RegisterFunc("record.struct_events", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.structEvents)
+	})
+	reg.RegisterFunc("record.access_entries", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.accessEntries)
+	})
+	reg.RegisterFunc("record.bytes", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(r.bytes)
+	})
+}
+
+var (
+	_ sched.Tracer        = (*Recorder)(nil)
+	_ sched.AccessChecker = (*Recorder)(nil)
+	_ sched.StrandCloser  = (*Recorder)(nil)
+	_ detect.AccessTap    = (*Recorder)(nil)
+)
+
+// countingReader tracks consumed bytes under a bufio.Reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Load decodes a capture. Any malformation — wrong magic, byte order,
+// or version, a truncated stream, counts that do not match the trailer —
+// is an error; Load never returns a partially decoded capture.
+func Load(r io.Reader) (*Capture, error) {
+	cr := &countingReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: load: short header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, fmt.Errorf("trace: load: bad magic %q (not an sftrace capture)", hdr[:8])
+	}
+	if [4]byte(hdr[8:12]) != byteMark {
+		return nil, fmt.Errorf("trace: load: byte-order marker % x, want % x (foreign byte order)",
+			hdr[8:12], byteMark[:])
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("trace: load: format version %d, want %d (stale or foreign capture; re-record it)",
+			version, Version)
+	}
+
+	c := &Capture{}
+	uv := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = binary.ReadUvarint(br)
+		return v
+	}
+	noteStrand := func(id uint64) uint64 {
+		if id+1 > c.Strands {
+			c.Strands = id + 1
+		}
+		return id
+	}
+	noteFut := func(id uint64) int {
+		if int(id)+1 > c.Futures {
+			c.Futures = int(id) + 1
+		}
+		return int(id)
+	}
+	for {
+		opByte, e := br.ReadByte()
+		if e != nil {
+			return nil, fmt.Errorf("trace: load: truncated capture (no trailer): %w", e)
+		}
+		op := Op(opByte)
+		switch op {
+		case OpRoot:
+			noteFut(0) // the root strand belongs to the implicit future 0
+			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv())})
+		case OpSpawn:
+			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), B: noteStrand(uv()), Placeholder: uv()}
+			if ev.Placeholder > 0 {
+				noteStrand(ev.Placeholder - 1)
+			}
+			c.Events = append(c.Events, ev)
+		case OpCreate:
+			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), B: noteStrand(uv()), Placeholder: uv()}
+			if ev.Placeholder > 0 {
+				noteStrand(ev.Placeholder - 1)
+			}
+			ev.Fut = noteFut(uv())
+			ev.FutParent = noteFut(uv())
+			c.Events = append(c.Events, ev)
+		case OpSync:
+			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv())}
+			n := uv()
+			for i := uint64(0); i < n && err == nil; i++ {
+				ev.Sinks = append(ev.Sinks, noteStrand(uv()))
+			}
+			c.Events = append(c.Events, ev)
+		case OpReturn:
+			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv())})
+		case OpPut:
+			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv()), Fut: noteFut(uv())})
+		case OpGet:
+			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), Fut: noteFut(uv())})
+		case opAccess:
+			b := AccessBlock{Strand: noteStrand(uv())}
+			n := uv()
+			if err == nil {
+				nb := (n + 7) / 8
+				bits := make([]byte, 0, min(nb, 1<<16))
+				for i := uint64(0); i < nb && err == nil; i++ {
+					var kb byte
+					kb, err = br.ReadByte()
+					bits = append(bits, kb)
+				}
+				for i := uint64(0); i < n && err == nil; i++ {
+					b.Addrs = append(b.Addrs, uv())
+					k := detect.AccessRead
+					if bits[i/8]&(1<<(i%8)) != 0 {
+						k = detect.AccessWrite
+					}
+					b.Kinds = append(b.Kinds, k)
+				}
+			}
+			c.Entries += uint64(len(b.Addrs))
+			c.Blocks = append(c.Blocks, b)
+		case opEnd:
+			wantStruct, wantEntries := uv(), uv()
+			if err != nil {
+				return nil, fmt.Errorf("trace: load: truncated trailer: %w", err)
+			}
+			if wantStruct != uint64(len(c.Events)) || wantEntries != c.Entries {
+				return nil, fmt.Errorf("trace: load: trailer mismatch: %d/%d events, %d/%d access entries (corrupt capture)",
+					len(c.Events), wantStruct, c.Entries, wantEntries)
+			}
+			c.Bytes = cr.n - int64(br.Buffered())
+			return c, nil
+		default:
+			return nil, fmt.Errorf("trace: load: unknown op %d at event %d (corrupt capture)",
+				opByte, len(c.Events)+len(c.Blocks))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: load: truncated capture: %w", err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"sforder/internal/sched"
+)
+
+// KSweep returns the k-sweep adversary (ROADMAP item 5): a chain of k
+// futures, each getting its predecessor, where every future reads the
+// same small set of shared cells `touches` times and writes one private
+// cell. The shape is engineered against the detector's per-location
+// costs rather than its dag costs:
+//
+//   - Thousands of touches per location. Each shared cell is read
+//     touches times by each of k distinct strands. Same-strand repeats
+//     dedup (the fast path's job), but the k distinct readers are all
+//     retained — so the root's final write to each shared cell must
+//     Precedes-check a reader list of length k, the quadratic
+//     per-location term the ReadersAll policy admits.
+//   - gp merges. Future i+1's first strand gets future i, so every link
+//     merges the predecessor's gp set — k chained merges, the O(k²)
+//     bitmap work the paper's §3.4 subsumption optimization targets.
+//
+// The computed result is a running checksum threaded through the chain,
+// so a skipped or reordered link cannot verify. Race-free: each shared
+// cell's writes are both root strands ordered around the whole chain by
+// the final get, each private cell has one writer, and every read is
+// ordered after the root's initial writes by create-path edges.
+func KSweep(k, touches int) *Benchmark {
+	if k < 1 || touches < 1 {
+		panic(fmt.Sprintf("workload: KSweep bad params k=%d touches=%d", k, touches))
+	}
+	return &Benchmark{
+		Name: "ksweep",
+		Desc: "k-future sweep over shared cells (per-location reader-list and gp-merge adversary)",
+		N:    k,
+		B:    touches,
+		Make: func() *Run { return newKSweepRun(k, touches) },
+	}
+}
+
+// ksweepShared is the number of shared cells every future sweeps.
+const ksweepShared = 8
+
+type ksweepState struct {
+	k, touches int
+	shared     [ksweepShared]int64
+	private    []int64
+	wantPriv   []int64
+	got        int64
+	want       int64
+}
+
+func (s *ksweepState) sharedAddr(j int) uint64 { return uint64(j) }
+func (s *ksweepState) privAddr(i int) uint64   { return uint64(ksweepShared + i) }
+
+func newKSweepRun(k, touches int) *Run {
+	s := &ksweepState{k: k, touches: touches, private: make([]int64, k), wantPriv: make([]int64, k)}
+	// Reference: replicate the chain arithmetic sequentially.
+	var shared [ksweepShared]int64
+	for j := range shared {
+		shared[j] = int64(j*j + 1)
+	}
+	acc := int64(0)
+	for i := 0; i < k; i++ {
+		sum := acc
+		for t := 0; t < touches; t++ {
+			sum += shared[(i+t)%ksweepShared]
+		}
+		acc = sum%100003 + int64(i)
+		s.wantPriv[i] = acc
+	}
+	s.want = acc
+	return &Run{Main: s.main, Verify: s.verify}
+}
+
+func (s *ksweepState) main(t *sched.Task) {
+	// Root initializes the shared cells; every future's reads are
+	// ordered after these writes through the create path.
+	for j := 0; j < ksweepShared; j++ {
+		t.Write(s.sharedAddr(j))
+		s.shared[j] = int64(j*j + 1)
+	}
+	var prev *sched.Future
+	for i := 0; i < s.k; i++ {
+		i, dep := i, prev
+		prev = t.Create(func(c *sched.Task) any {
+			acc := int64(0)
+			if dep != nil {
+				acc = c.Get(dep).(int64) // gp merge: link i gets link i-1
+			}
+			sum := acc
+			for touch := 0; touch < s.touches; touch++ {
+				j := (i + touch) % ksweepShared
+				c.Read(s.sharedAddr(j)) // k distinct retained readers per cell
+				sum += s.shared[j]
+			}
+			priv := sum%100003 + int64(i)
+			c.Write(s.privAddr(i))
+			s.private[i] = priv
+			return priv
+		})
+	}
+	s.got = t.Get(prev).(int64)
+	// Reading every private cell from the root forces Precedes queries
+	// against each chain link's put-side strand.
+	for i := 0; i < s.k; i++ {
+		t.Read(s.privAddr(i))
+	}
+	// The final shared-cell writes check the full k-reader lists — the
+	// quadratic per-location term this workload exists to exercise.
+	for j := 0; j < ksweepShared; j++ {
+		t.Write(s.sharedAddr(j))
+		s.shared[j] = 0
+	}
+}
+
+func (s *ksweepState) verify() error {
+	if s.got != s.want {
+		return fmt.Errorf("ksweep: chain checksum %d, want %d", s.got, s.want)
+	}
+	for i := 0; i < s.k; i++ {
+		if s.private[i] != s.wantPriv[i] {
+			return fmt.Errorf("ksweep: link %d produced %d, want %d", i, s.private[i], s.wantPriv[i])
+		}
+	}
+	return nil
+}

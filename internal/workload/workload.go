@@ -82,18 +82,19 @@ func All(s Scale) []*Benchmark {
 }
 
 // Extras returns the post-paper adversarial workloads at the given
-// scale: spine (the OM-renumber / label-depth adversary, ABL10) and
-// pipeline (the deep future-chain adversary, ABL11). They are kept out
-// of All so the Figure 3-5 tables keep the paper's row set; harness
-// callers opt in (cmd/sforder -extras).
+// scale: spine (the OM-renumber / label-depth adversary, ABL10),
+// pipeline (the deep future-chain adversary, ABL11), and ksweep (the
+// per-location reader-list and gp-merge adversary, ABL12). They are
+// kept out of All so the Figure 3-5 tables keep the paper's row set;
+// harness callers opt in (cmd/sforder -extras).
 func Extras(s Scale) []*Benchmark {
 	switch s {
 	case ScaleTest:
-		return []*Benchmark{Spine(60, 2), Pipeline(12, 4, 2)}
+		return []*Benchmark{Spine(60, 2), Pipeline(12, 4, 2), KSweep(12, 40)}
 	case ScaleLarge:
-		return []*Benchmark{Spine(5000, 2), Pipeline(1000, 16, 8)}
+		return []*Benchmark{Spine(5000, 2), Pipeline(1000, 16, 8), KSweep(1024, 4000)}
 	default:
-		return []*Benchmark{Spine(1500, 2), Pipeline(200, 8, 4)}
+		return []*Benchmark{Spine(1500, 2), Pipeline(200, 8, 4), KSweep(256, 2000)}
 	}
 }
 

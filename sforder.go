@@ -45,7 +45,9 @@ import (
 	"sforder/internal/forder"
 	"sforder/internal/multibags"
 	"sforder/internal/obsv"
+	"sforder/internal/replay"
 	"sforder/internal/sched"
+	"sforder/internal/trace"
 	"sforder/internal/wsp"
 )
 
@@ -216,6 +218,14 @@ type Config struct {
 	// pair (default), DePa fork-path cords, or the depth-adaptive
 	// flat/cord hybrid.
 	Reach ReachBackend
+	// Record, when non-nil, captures the run — every dag structure
+	// event plus the deduplicated access stream — to it in the sftrace
+	// format (internal/trace), for offline re-detection with Replay.
+	// Recording composes with any Detector, including NoDetector: a
+	// production run can record at near-zero detection cost and defer
+	// race checking entirely to replay. The capture is finalized when
+	// Run returns; write errors surface as Run's error.
+	Record io.Writer
 }
 
 // Backend selects the shadow-memory layout of the access history.
@@ -307,6 +317,14 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 		tw = obsv.NewTraceWriter(cfg.Trace)
 		opts.Trace = tw
 	}
+	var rec *trace.Recorder
+	if cfg.Record != nil {
+		rec = trace.NewRecorder(cfg.Record)
+		opts.Aux = rec
+		if reg != nil {
+			rec.RegisterStats(reg)
+		}
+	}
 	var hist *detect.History
 	if reach != nil {
 		opts.Tracer = reach
@@ -316,7 +334,7 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 			}
 		}
 		if !cfg.ReachabilityOnly {
-			hist = detect.NewHistory(detect.Options{
+			hopts := detect.Options{
 				Reach:       reach,
 				Policy:      cfg.Policy,
 				LeftOf:      leftOf,
@@ -324,7 +342,14 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 				Backend:     cfg.Backend,
 				DedupByAddr: cfg.DedupByAddr,
 				FastPath:    cfg.FastPath,
-			})
+			}
+			if rec != nil {
+				// The history taps the recorder with the deduplicated
+				// access stream it applies — the capture carries exactly
+				// what online detection saw.
+				hopts.Tap = rec
+			}
+			hist = detect.NewHistory(hopts)
 			if reg != nil {
 				hist.RegisterStats(reg)
 			}
@@ -339,12 +364,23 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 			}
 		}
 	}
+	if rec != nil && hist == nil {
+		// No access history to tap: the recorder observes the raw access
+		// stream itself (with its own per-strand dedup), so NoDetector
+		// and ReachabilityOnly runs still produce a complete capture.
+		opts.Checker = rec
+	}
 
 	start := time.Now()
 	counts, err := sched.Run(opts, main)
 	if tw != nil {
 		if cerr := tw.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("sforder: trace: %w", cerr)
+		}
+	}
+	if rec != nil {
+		if cerr := rec.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("sforder: record: %w", cerr)
 		}
 	}
 	// Build the result even when the program failed: counts, races, and
@@ -368,6 +404,57 @@ func Run(cfg Config, main func(*Task)) (*Result, error) {
 		res.Stats = reg.Snapshot()
 	}
 	return res, err
+}
+
+// ReplayConfig configures Replay.
+type ReplayConfig struct {
+	// Workers is the number of detection shards replayed in parallel
+	// (0 = GOMAXPROCS). The race set is identical for every worker
+	// count; addresses are hash-partitioned so each location's history
+	// lives wholly in one shard.
+	Workers int
+	// Reach selects the reachability substrate the dag is rebuilt on.
+	// ReachDePa and ReachHybrid are natural offline choices (immutable
+	// labels, lock-free queries); the default OM pair also works.
+	Reach ReachBackend
+	// MaxRaces caps retained detailed race records (0 = 256), applied
+	// after the deterministic cross-shard merge.
+	MaxRaces int
+	// DedupByAddr retains at most one detailed record per address.
+	DedupByAddr bool
+}
+
+// ReplayResult reports a completed offline replay.
+type ReplayResult = replay.Result
+
+// Replay loads a capture recorded via Config.Record from r, rebuilds
+// the computation dag on the selected reachability substrate, and
+// re-runs full race detection offline, with access events partitioned
+// by address hash across Workers parallel shards. The location-level
+// verdict (which addresses race) equals the online run's; the detailed
+// race list is deterministic — independent of Workers and of the
+// recorded schedule.
+func Replay(r io.Reader, cfg ReplayConfig) (*ReplayResult, error) {
+	c, err := trace.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("sforder: replay: %w", err)
+	}
+	opts := replay.Options{
+		Workers:     cfg.Workers,
+		MaxRaces:    cfg.MaxRaces,
+		DedupByAddr: cfg.DedupByAddr,
+	}
+	switch cfg.Reach {
+	case ReachDePa:
+		opts.Reach = core.SubstrateDePa
+	case ReachHybrid:
+		opts.Reach = core.SubstrateHybrid
+	}
+	res, err := replay.Run(c, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sforder: replay: %w", err)
+	}
+	return res, nil
 }
 
 // GetTyped retrieves a future's value with a type assertion, panicking
