@@ -540,14 +540,11 @@ func BenchmarkAblationBitmapVsHash(b *testing.B) {
 func BenchmarkReplayScaling(b *testing.B) {
 	record := func(bench *workload.Benchmark) *trace.Capture {
 		b.Helper()
-		var buf bytes.Buffer
-		if _, err := harness.Run(bench, harness.Config{
-			Detector: harness.SFOrder, Mode: harness.Full,
-			Workers: harness.DefaultWorkers(), FastPath: true, Record: &buf,
-		}); err != nil {
+		raw, err := harness.RecordCapture(bench, harness.DefaultWorkers())
+		if err != nil {
 			b.Fatal(err)
 		}
-		c, err := trace.Load(&buf)
+		c, err := trace.Load(bytes.NewReader(raw))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -588,6 +585,77 @@ func BenchmarkReplayScaling(b *testing.B) {
 				b.ReportMetric(float64(last.Entries), "entries-total")
 				b.ReportMetric(float64(last.MaxShardEntries), "entries-max-shard")
 				b.ReportMetric(float64(last.Queries), "queries")
+			})
+		}
+	}
+}
+
+// BenchmarkReplayRebuild (ABL13): the replay rebuild itself — the phase
+// the parallel label-table path and the streaming pipeline attack — on
+// mm, sort and ksweep captures at 1/2/4/8 rebuild workers, barriered
+// and streamed. The barriered cells replay a pre-loaded capture with
+// RebuildWorkers=w on the DePa substrate (w=1 is the serial event-order
+// rebuild baseline; w>1 the precomputed-table path) and report the
+// rebuild wall plus the balance counters; the streamed cells replay the
+// raw bytes through the bounded pipeline at w detection shards (the
+// rebuild is the pipeline's producer stage, so RebuildWorkers does not
+// apply) and report the loader's structure share and the in-flight
+// peak. Detection shards stay fixed at 2 in the barriered cells so the
+// sweep isolates rebuild cost.
+func BenchmarkReplayRebuild(b *testing.B) {
+	entries := []struct {
+		label string
+		bench *workload.Benchmark
+	}{
+		{"mm", workload.MM(64, 16)},
+		{"sort", workload.Sort(20_000, 512)},
+		{"ksweep", workload.KSweep(256, 2000)},
+	}
+	for _, e := range entries {
+		raw, err := harness.RecordCapture(e.bench, harness.DefaultWorkers())
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := trace.Load(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			w := w
+			b.Run(fmt.Sprintf("%s/barrier/rw%d", e.label, w), func(b *testing.B) {
+				var last *replay.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := replay.Run(c, replay.Options{
+						Workers: 2, RebuildWorkers: w, Reach: core.SubstrateDePa,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.Rebuild.Nanoseconds()), "rebuild-ns")
+				b.ReportMetric(float64(last.Strands), "strands")
+				if last.RebuildParallel {
+					b.ReportMetric(float64(last.RebuildWork), "rebuild-work")
+					b.ReportMetric(float64(last.RebuildMaxSegment), "rebuild-max-segment")
+				}
+			})
+			b.Run(fmt.Sprintf("%s/stream/w%d", e.label, w), func(b *testing.B) {
+				var last *replay.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := replay.RunStream(bytes.NewReader(raw), replay.Options{
+						Workers: w, Reach: core.SubstrateDePa,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.Rebuild.Nanoseconds()), "rebuild-ns")
+				b.ReportMetric(float64(last.StreamPeakBlocks), "peak-blocks")
+				b.ReportMetric(float64(last.StreamPeakBytes), "peak-bytes")
 			})
 		}
 	}

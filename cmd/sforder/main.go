@@ -53,6 +53,8 @@ func main() {
 		record        = flag.String("record", "", "with -bench: capture the run (dag events + access stream) to this sftrace file for offline -replay")
 		replayIn      = flag.String("replay", "", "replay a capture recorded with -record: rebuild the dag and re-run detection offline, sharded by address")
 		replayWorkers = flag.Int("replayworkers", 0, "with -replay: number of parallel detection shards (0 = GOMAXPROCS)")
+		rebuildW      = flag.Int("rebuildworkers", 0, "with -replay: parallel rebuild workers constructing the fork-path labels from the capture's segment index (label substrates only; <2 = serial event-order rebuild)")
+		stream        = flag.Bool("stream", false, "with -replay: stream the capture through a bounded pipeline — detection starts while the file is still being decoded, and resident memory stays constant in trace length")
 		omglobal      = flag.Bool("omglobal", false, "with -bench: force SF-Order's OM lists onto the single list-level lock (ABL8)")
 		noarena       = flag.Bool("noarena", false, "with -bench: disable SF-Order's per-worker slab arenas (ABL8)")
 		lockdeque     = flag.Bool("lockdeque", false, "with -bench: use the scheduler's historical mutex deque instead of the lock-free Chase–Lev deque (ABL9)")
@@ -88,7 +90,7 @@ func main() {
 
 	switch {
 	case *replayIn != "":
-		runReplay(*replayIn, *replayWorkers, *reachSub, *dedup, *stats, reg)
+		runReplay(*replayIn, *replayWorkers, *rebuildW, *stream, *reachSub, *dedup, *stats, reg)
 	case *table != "":
 		runTable(*table, benches, *workers, *repeats, *scale, *jsonOut)
 	case *bench != "":
@@ -115,36 +117,60 @@ func main() {
 // the dag is rebuilt on the selected reachability substrate, then the
 // access stream is partitioned by address hash across the requested
 // number of shards and detected in parallel (ABL12).
-func runReplay(path string, workers int, reachName string, dedup, stats bool, reg *obsv.Registry) {
+func runReplay(path string, workers, rebuildWorkers int, stream bool, reachName string, dedup, stats bool, reg *obsv.Registry) {
 	sub, err := core.ParseSubstrate(reachName)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	opts := replay.Options{
+		Workers:        workers,
+		RebuildWorkers: rebuildWorkers,
+		Reach:          sub,
+		DedupByAddr:    dedup,
+		Stats:          reg,
+	}
 	f, err := os.Open(path)
 	check(err)
-	c, err := trace.Load(f)
-	check(f.Close())
+	var res *replay.Result
+	if stream {
+		res, err = replay.RunStream(f, opts)
+		check(f.Close())
+	} else {
+		var c *trace.Capture
+		c, err = trace.Load(f)
+		check(f.Close())
+		if err == nil {
+			res, err = replay.Run(c, opts)
+		}
+	}
 	if err != nil {
 		fatalf("replay: %s: %v", path, err)
 	}
-	res, err := replay.Run(c, replay.Options{
-		Workers:     workers,
-		Reach:       sub,
-		DedupByAddr: dedup,
-		Stats:       reg,
-	})
-	if err != nil {
-		fatalf("replay: %s: %v", path, err)
+	mode := "barriered"
+	if res.Streamed {
+		mode = "streamed"
 	}
-	fmt.Printf("%s  replay workers=%d reach=%s\n", path, res.Shards, sub)
+	fmt.Printf("%s  replay workers=%d reach=%s mode=%s\n", path, res.Shards, sub, mode)
 	fmt.Printf("  strands    %d\n", res.Strands)
 	fmt.Printf("  futures    %d\n", res.Futures-1)
 	fmt.Printf("  events     %d\n", res.Events)
 	fmt.Printf("  accesses   %d (max shard %d)\n", res.Entries, res.MaxShardEntries)
 	fmt.Printf("  queries    %d\n", res.Queries)
 	fmt.Printf("  races      %d (%d racy addrs)\n", res.RaceCount, len(res.RacyAddrs))
-	fmt.Printf("  rebuild    %v\n", res.Rebuild)
+	// Per-phase breakdown. Under streaming, rebuild time is the loader's
+	// structure-event share and detect is the full pipeline wall (the
+	// phases overlap); barriered runs report disjoint phases.
+	if res.RebuildParallel {
+		fmt.Printf("  rebuild    %v (workers=%d labels=%d max-segment=%d/%d work units)\n",
+			res.Rebuild, res.RebuildWorkers, res.RebuildLabels, res.RebuildMaxSegment, res.RebuildWork)
+	} else {
+		fmt.Printf("  rebuild    %v (serial)\n", res.Rebuild)
+	}
 	fmt.Printf("  detect     %v\n", res.Detect)
+	fmt.Printf("  merge      %v\n", res.Merge)
+	if res.Streamed {
+		fmt.Printf("  stream     peak %d blocks / %d bytes in flight\n", res.StreamPeakBlocks, res.StreamPeakBytes)
+	}
 	fmt.Printf("  reach mem  %d bytes\n", res.ReachMemBytes)
 	for _, r := range res.Races {
 		fmt.Printf("  race: %v\n", r)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"sforder/internal/bitset"
+	"sforder/internal/depa"
+	"sforder/internal/sched"
+)
+
+// Offline is the rebuild-only entry point into the reachability
+// component: a Reach whose substrate positions are bound from a
+// precomputed fork-path label table (depa.BuildTable) instead of being
+// placed one tracer event at a time. It exists for offline replay,
+// where the whole strand forest is known up front and label
+// construction parallelizes — only the label-substrate family supports
+// it (a fork-path label is a pure function of the strand's recorded
+// path; an order-maintenance list is one mutable structure that must
+// be built in event order).
+//
+// Usage: allocate with NewOffline, Bind every strand to its table
+// label (safe concurrently for distinct indices — each Bind touches
+// only its own pre-allocated node record), account the table once with
+// AccountTable, then drive the serial gp/cp passes (BindRootFuture,
+// BindFuture, InheritGP, SyncGP, GetGP) in capture file order. The
+// resulting Reach answers Precedes/PrecedesUncounted/LeftOf exactly as
+// if the events had been traced online.
+type Offline struct {
+	r     *Reach
+	sub   *depaSub
+	nodes []node
+	metas []futMeta
+}
+
+// NewOffline returns an Offline rebuild sized for the given strand and
+// future counts. cfg.Reach must be SubstrateDePa or SubstrateHybrid.
+func NewOffline(cfg Config, strands, futures int) (*Offline, error) {
+	if cfg.Reach != SubstrateDePa && cfg.Reach != SubstrateHybrid {
+		return nil, fmt.Errorf("core: offline rebuild requires a precomputable label substrate, not %v", cfg.Reach)
+	}
+	// Node and meta records come from the two dense slices below; the
+	// lane arenas would sit idle, so skip them.
+	cfg.NoArena = true
+	r := New(cfg)
+	return &Offline{
+		r:     r,
+		sub:   r.sub.(*depaSub),
+		nodes: make([]node, strands),
+		metas: make([]futMeta, futures),
+	}, nil
+}
+
+// Reach returns the underlying reachability component. Valid for
+// queries once every strand is bound and the gp/cp passes have run.
+func (o *Offline) Reach() *Reach { return o.r }
+
+// Bind assigns strand s the i-th node record, positioned by its
+// precomputed cord label (and optional flat copy). Safe for concurrent
+// use on distinct i; the label must be immutable (a table entry).
+func (o *Offline) Bind(i int, s *sched.Strand, l *depa.Label, f *depa.Flat) {
+	n := &o.nodes[i]
+	n.setDepa(l, f)
+	s.Det = n
+}
+
+// AccountTable records a bulk-built label table on the substrate's
+// gauges — labels, frozen chunks, max depth, label memory — and on the
+// strand count, keeping depa.* and reach.* consistent with what an
+// online run over the same forest would have reported.
+func (o *Offline) AccountTable(t *depa.Table) {
+	o.r.strands.Add(uint64(t.Len()))
+	o.sub.accountTable(int64(t.Len()), int64(t.Chunks()), int64(t.MemBytes()), int64(t.MaxDepth()))
+}
+
+// BindRootFuture binds the implicit root future (no ancestors).
+func (o *Offline) BindRootFuture(f *sched.FutureTask) {
+	fm := &o.metas[f.ID]
+	fm.cp = nil
+	f.Det = fm
+}
+
+// BindFuture binds a created future: cp(G) = cp(parent) ∪ {parent}.
+// The parent must already be bound (creation order).
+func (o *Offline) BindFuture(f *sched.FutureTask) {
+	parent := metaOf(f.Parent)
+	cp := bitset.CloneIn(nil, parent.cp, f.Parent.ID+1)
+	cp.Add(f.Parent.ID)
+	fm := &o.metas[f.ID]
+	fm.cp = o.r.trackSet(cp)
+	f.Det = fm
+}
+
+// InheritGP shares src's gp with dst — the branch-point rule (a
+// spawn/create child or continuation starts with its forker's gp).
+func (o *Offline) InheritGP(dst, src *sched.Strand) {
+	nodeOf(dst).gp = nodeOf(src).gp
+}
+
+// SyncGP merges the region's gp into the (pre-bound) sync strand s:
+// gp(s) = gp(k) ∪ gp(sinks...), with the §3.4 subsumption sharing.
+func (o *Offline) SyncGP(k, s *sched.Strand, childSinks []*sched.Strand) {
+	o.r.placeSync(nil, k, s, childSinks)
+}
+
+// GetGP computes the get strand's gp: gp(g) = gp(u) ∪ gp(last(F)) ∪
+// {F}. Unlike the online placeGet it performs no placement — g's label
+// came from the table — and counts no extra strand.
+func (o *Offline) GetGP(u, g *sched.Strand, f *sched.FutureTask) {
+	un, gn := nodeOf(u), nodeOf(g)
+	last := nodeOf(f.Last())
+	gp := bitset.UnionIn(nil, un.gp, last.gp, f.ID+1)
+	gp.Add(f.ID)
+	o.r.gpMerges.Add(1)
+	gn.gp = o.r.trackSet(gp)
+}
+
+// accountTable bulk-feeds the substrate counters for an offline-built
+// label table; the per-label account() bookkeeping already happened in
+// aggregate inside depa.BuildTable's arrays.
+func (d *depaSub) accountTable(labels, chunks, mem, maxDepth int64) {
+	d.labels.Add(labels)
+	d.chunks.Add(chunks)
+	d.labelMem.Add(mem)
+	for {
+		cur := d.maxDepth.Load()
+		if maxDepth <= cur || d.maxDepth.CompareAndSwap(cur, maxDepth) {
+			return
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"runtime"
@@ -320,4 +321,21 @@ func DefaultWorkers() int {
 		w = 2
 	}
 	return w
+}
+
+// RecordCapture runs benchmark b once under full online SF-Order
+// detection (fast path on, so the capture tap sees the batched access
+// stream) with the sftrace recorder attached, and returns the raw
+// capture bytes — the canonical input to offline replay tests and
+// benchmarks: feed them to trace.Load + replay.Run, or directly to
+// replay.RunStream.
+func RecordCapture(b *workload.Benchmark, workers int) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := Run(b, Config{
+		Detector: SFOrder, Mode: Full,
+		Workers: workers, FastPath: true, Record: &buf,
+	}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -1,0 +1,158 @@
+package replay
+
+import (
+	"sync"
+
+	"sforder/internal/core"
+	"sforder/internal/depa"
+	"sforder/internal/sched"
+	"sforder/internal/trace"
+)
+
+// rebuildInfo reports what the parallel rebuild did: how many table
+// labels were built, the total label+chunk fill work, and the largest
+// single worker segment (maxSegment·workers ≈ labels certifies balance).
+type rebuildInfo struct {
+	labels     uint64
+	totalWork  uint64
+	maxSegment uint64
+}
+
+// rebuildParallel is the precomputed-label-table rebuild: instead of
+// threading every structure event through the substrate's mutable
+// placement path, it derives each strand's fork-path label directly from
+// the recorded path and builds all labels in parallel.
+//
+//  1. Partition (serial). trace.PathIndex extracts every strand's label
+//     parent and branch role in one validating pass, laid out in
+//     introduction order so contiguous index ranges are independent
+//     units of work (parents precede children).
+//  2. Labels (parallel). depa.BuildTable runs the serial Extend
+//     recurrence as a table fill: W workers over even index segments,
+//     no locks, no shared mutable state — cross-segment reads are of
+//     array cells written by strictly earlier passes. The table is
+//     bit-identical to what online Extend calls would have built
+//     (depa.TestBuildTableMatchesExtend), so every Rel verdict agrees.
+//  3. Bind (parallel). Each worker binds its segment's strands to their
+//     pre-allocated node records (core.Offline.Bind — distinct indices,
+//     no sharing).
+//  4. Bitmaps (serial). One pass over the events in file order computes
+//     the cp(G) ancestor sets and gp(v) non-SP-path sets with exactly
+//     the online placement rules (inherit at branch, merge at sync and
+//     get). These are genuinely order-dependent — they are the serial
+//     residue of the rebuild, and a small fraction of its work (one
+//     bitmap op per event vs. a label + node per strand).
+//
+// The resulting Reach answers PrecedesUncounted identically to the
+// serial rebuild (DESIGN.md §4, label determinism).
+func rebuildParallel(c *trace.Capture, opts Options, workers int) ([]*sched.Strand, *core.Reach, *rebuildInfo, error) {
+	idx, err := c.Index()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	n := len(idx.Order)
+
+	// Branch roles → label components. A get strand hangs off its
+	// getting strand exactly like a spawned child (same Child component
+	// the online placeGet appends).
+	comp := make([]uint8, n)
+	for j, role := range idx.Role {
+		switch role {
+		case trace.RoleChild, trace.RoleGet:
+			comp[j] = depa.Child
+		case trace.RoleCont:
+			comp[j] = depa.Cont
+		case trace.RoleSync:
+			comp[j] = depa.Sync
+		}
+	}
+	flatDepth := 0
+	if opts.Reach == core.SubstrateHybrid {
+		flatDepth = opts.HybridDepth
+		if flatDepth <= 0 {
+			flatDepth = core.DefaultHybridDepth
+		}
+	}
+	table, err := depa.BuildTable(idx.Parent, comp, depa.TableConfig{Workers: workers, FlatDepth: flatDepth})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	off, err := core.NewOffline(core.Config{Reach: opts.Reach, HybridDepth: opts.HybridDepth}, n, c.Futures)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Future identities (cheap, serial): objects first so parent links
+	// can point anywhere, links from the validated index.
+	futs := make([]*sched.FutureTask, c.Futures)
+	for fid := range futs {
+		futs[fid] = &sched.FutureTask{ID: fid}
+	}
+	for fid, p := range idx.FutParent {
+		if p >= 0 {
+			futs[fid].Parent = futs[p]
+		}
+	}
+
+	// Parallel bind: segment w owns introduction positions
+	// [w·n/W, (w+1)·n/W) — the same even split BuildTable used. Each
+	// iteration writes one distinct strands[id] cell (ids are unique by
+	// index validation) and one distinct node record.
+	strands := make([]*sched.Strand, c.Strands)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				id := idx.Order[j]
+				s := &sched.Strand{ID: id, Fut: futs[idx.Fut[j]]}
+				strands[id] = s
+				off.Bind(j, s, table.Label(j), table.Flat(j))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	off.AccountTable(table)
+
+	// Serial bitmap pass, file order. Placeholders inherit no gp at the
+	// branch (matching the online placeBranch); their gp is computed at
+	// the region's sync.
+	for i := range c.Events {
+		ev := &c.Events[i]
+		switch ev.Op {
+		case trace.OpRoot:
+			off.BindRootFuture(futs[0])
+		case trace.OpSpawn:
+			u := strands[ev.U]
+			off.InheritGP(strands[ev.A], u)
+			off.InheritGP(strands[ev.B], u)
+		case trace.OpCreate:
+			u := strands[ev.U]
+			off.BindFuture(futs[ev.Fut])
+			off.InheritGP(strands[ev.A], u)
+			off.InheritGP(strands[ev.B], u)
+		case trace.OpSync:
+			sinks := make([]*sched.Strand, len(ev.Sinks))
+			for j, id := range ev.Sinks {
+				sinks[j] = strands[id]
+			}
+			off.SyncGP(strands[ev.U], strands[ev.A], sinks)
+		case trace.OpPut:
+			futs[ev.Fut].SetLast(strands[ev.U])
+		case trace.OpGet:
+			off.GetGP(strands[ev.U], strands[ev.A], futs[ev.Fut])
+		}
+	}
+
+	info := &rebuildInfo{labels: uint64(table.Len())}
+	for _, wk := range table.SegmentWork() {
+		info.totalWork += uint64(wk)
+		if uint64(wk) > info.maxSegment {
+			info.maxSegment = uint64(wk)
+		}
+	}
+	return strands, off.Reach(), info, nil
+}

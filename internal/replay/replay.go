@@ -10,9 +10,13 @@
 //     lists, DePa cords, or the hybrid) exactly as the online tracer
 //     would have been. File order is a happens-before-consistent
 //     linearization of the run (see internal/trace), so every Tracer
-//     precondition holds. The rebuild is serial; it is a tiny fraction
-//     of detection work, and after it the reachability state is
-//     read-only — with the DePa substrate, a set of frozen immutable
+//     precondition holds. With Options.RebuildWorkers > 1 and a label
+//     substrate, the rebuild itself parallelizes: a serial index pass
+//     (trace.PathIndex) partitions the strand forest, then P workers
+//     construct the immutable fork-path labels concurrently over
+//     independent segments (depa.BuildTable) with no OM list and no
+//     locks — only the gp/cp bitmap passes stay serial. Either way,
+//     after the rebuild the reachability state is read-only — frozen
 //     labels any number of workers can query lock-free.
 //
 //  2. Sharded detection. Access entries are partitioned by address hash
@@ -46,6 +50,15 @@ type Options struct {
 	// Workers is the number of detection shards/workers; 0 means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// RebuildWorkers is the number of rebuild workers constructing the
+	// reachability labels (values below 2 mean the serial event-order
+	// rebuild). With more than one worker and a label substrate
+	// (SubstrateDePa or SubstrateHybrid), the rebuild switches to the
+	// precomputed-table path: a serial index pass over the structure
+	// events, then parallel label construction over independent
+	// segments (depa.BuildTable, core.Offline). The OM substrate has no
+	// precomputable labels and always rebuilds serially.
+	RebuildWorkers int
 	// Reach selects the reachability substrate the dag is rebuilt on.
 	// SubstrateDePa is the natural offline choice (frozen immutable
 	// labels, lock-free queries); all three work.
@@ -84,11 +97,39 @@ type Result struct {
 	// MaxShardEntries ≈ Entries/Shards means near-perfect partitioning).
 	Shards          int
 	MaxShardEntries uint64
-	// Rebuild and Detect are the wall-clock times of the two phases.
+	// Rebuild, Detect and Merge are the wall-clock times of the three
+	// phases. Under streaming, Rebuild is the loader time spent applying
+	// structure events and Detect the full pipeline wall (the phases
+	// overlap by construction).
 	Rebuild time.Duration
 	Detect  time.Duration
+	Merge   time.Duration
 	// ReachMemBytes estimates the rebuilt reachability footprint.
 	ReachMemBytes int
+	// RebuildWorkers is the rebuild worker count actually used;
+	// RebuildParallel reports whether the precomputed-label-table path
+	// ran (false = serial event-order rebuild).
+	RebuildWorkers  int
+	RebuildParallel bool
+	// RebuildLabels counts the table labels built by the parallel path.
+	// RebuildWork is the total label-fill work (label + chunk units)
+	// and RebuildMaxSegment the largest single worker's share of it:
+	// the parallel label construction's critical path is
+	// RebuildMaxSegment of RebuildWork units, so
+	// RebuildMaxSegment·workers ≈ RebuildWork certifies each worker did
+	// ~1/W of the construction (the wall-clock speedup on real
+	// multi-core hardware).
+	RebuildLabels     uint64
+	RebuildWork       uint64
+	RebuildMaxSegment uint64
+	// Streamed reports the pipelined path (RunStream);
+	// StreamPeakBlocks/StreamPeakBytes are the high-water marks of the
+	// bounded ready-queue between the loader and the detection shards —
+	// bounded by StreamQueueCap+Workers+1 blocks regardless of capture
+	// length.
+	Streamed         bool
+	StreamPeakBlocks int64
+	StreamPeakBytes  int64
 }
 
 // ShardOf returns the detection shard owning addr among p shards: the
@@ -96,6 +137,174 @@ type Result struct {
 // so tests can construct racing pairs that straddle a shard boundary.
 func ShardOf(addr uint64, p int) int {
 	return int((addr * 0x9e3779b97f4a7c15) >> 32 % uint64(p))
+}
+
+// dagStore abstracts strand/future identity storage during an
+// event-order rebuild, so the same validating event switch (applyEvent)
+// drives both the barriered path (sliceStore — presized dense arrays,
+// the fast layout when the capture's totals are known up front) and the
+// streaming path (mapStore in stream.go — grows with the events actually
+// read, never sized from an untrusted header field).
+type dagStore interface {
+	need(i int, id uint64) (*sched.Strand, error)
+	intro(i int, id uint64, f *sched.FutureTask) (*sched.Strand, error)
+	needFut(i, id int) (*sched.FutureTask, error)
+	introFut(i, id int, parent *sched.FutureTask) (*sched.FutureTask, error)
+}
+
+// sliceStore is the dense-array dagStore for whole-capture rebuilds.
+type sliceStore struct {
+	strands []*sched.Strand
+	futs    []*sched.FutureTask
+}
+
+func (st *sliceStore) need(i int, id uint64) (*sched.Strand, error) {
+	if id >= uint64(len(st.strands)) || st.strands[id] == nil {
+		return nil, fmt.Errorf("replay: event %d: strand %d referenced before introduction", i, id)
+	}
+	return st.strands[id], nil
+}
+
+func (st *sliceStore) intro(i int, id uint64, f *sched.FutureTask) (*sched.Strand, error) {
+	if id >= uint64(len(st.strands)) {
+		return nil, fmt.Errorf("replay: event %d: strand %d out of range", i, id)
+	}
+	if st.strands[id] != nil {
+		return nil, fmt.Errorf("replay: event %d: strand %d introduced twice", i, id)
+	}
+	s := &sched.Strand{ID: id, Fut: f}
+	st.strands[id] = s
+	return s, nil
+}
+
+func (st *sliceStore) needFut(i, id int) (*sched.FutureTask, error) {
+	if id < 0 || id >= len(st.futs) || st.futs[id] == nil {
+		return nil, fmt.Errorf("replay: event %d: future %d referenced before creation", i, id)
+	}
+	return st.futs[id], nil
+}
+
+func (st *sliceStore) introFut(i, id int, parent *sched.FutureTask) (*sched.FutureTask, error) {
+	if id < 0 || id >= len(st.futs) || st.futs[id] != nil {
+		return nil, fmt.Errorf("replay: event %d: future %d out of range or created twice", i, id)
+	}
+	f := &sched.FutureTask{ID: id, Parent: parent}
+	st.futs[id] = f
+	return f, nil
+}
+
+// applyEvent validates one structure event against the store and feeds
+// it to the tracer — the single rebuild event switch shared by the
+// barriered, parallel-verification and streaming paths.
+func applyEvent(store dagStore, r sched.Tracer, i int, ev *trace.Event) error {
+	switch ev.Op {
+	case trace.OpRoot:
+		if i != 0 {
+			return fmt.Errorf("replay: event %d: misplaced root", i)
+		}
+		f, err := store.introFut(i, 0, nil)
+		if err != nil {
+			return err
+		}
+		root, err := store.intro(i, ev.U, f)
+		if err != nil {
+			return err
+		}
+		r.OnRoot(root)
+	case trace.OpSpawn, trace.OpCreate:
+		u, err := store.need(i, ev.U)
+		if err != nil {
+			return err
+		}
+		childFut := u.Fut
+		var created *sched.FutureTask
+		if ev.Op == trace.OpCreate {
+			parent, err := store.needFut(i, ev.FutParent)
+			if err != nil {
+				return err
+			}
+			if created, err = store.introFut(i, ev.Fut, parent); err != nil {
+				return err
+			}
+			childFut = created
+		}
+		first, err := store.intro(i, ev.A, childFut)
+		if err != nil {
+			return err
+		}
+		cont, err := store.intro(i, ev.B, u.Fut)
+		if err != nil {
+			return err
+		}
+		var ph *sched.Strand
+		if ev.Placeholder > 0 {
+			if ph, err = store.intro(i, ev.Placeholder-1, u.Fut); err != nil {
+				return err
+			}
+		}
+		if ev.Op == trace.OpCreate {
+			r.OnCreate(u, first, cont, ph, created)
+		} else {
+			r.OnSpawn(u, first, cont, ph)
+		}
+	case trace.OpSync:
+		k, err := store.need(i, ev.U)
+		if err != nil {
+			return err
+		}
+		// The sync strand is the placeholder eagerly introduced at the
+		// region's first branch; the scheduler emits no sync event for
+		// branch-free regions, so an unintroduced sync strand is
+		// corruption, not a late introduction.
+		s, err := store.need(i, ev.A)
+		if err != nil {
+			return fmt.Errorf("replay: event %d: sync strand %d was never placed at a branch", i, ev.A)
+		}
+		sinks := make([]*sched.Strand, len(ev.Sinks))
+		for j, id := range ev.Sinks {
+			if sinks[j], err = store.need(i, id); err != nil {
+				return err
+			}
+		}
+		r.OnSync(k, s, sinks)
+	case trace.OpReturn:
+		sink, err := store.need(i, ev.U)
+		if err != nil {
+			return err
+		}
+		r.OnReturn(sink)
+	case trace.OpPut:
+		sink, err := store.need(i, ev.U)
+		if err != nil {
+			return err
+		}
+		f, err := store.needFut(i, ev.Fut)
+		if err != nil {
+			return err
+		}
+		f.SetLast(sink)
+		r.OnPut(sink, f)
+	case trace.OpGet:
+		u, err := store.need(i, ev.U)
+		if err != nil {
+			return err
+		}
+		f, err := store.needFut(i, ev.Fut)
+		if err != nil {
+			return err
+		}
+		if f.Last() == nil {
+			return fmt.Errorf("replay: event %d: get of future %d before its put", i, ev.Fut)
+		}
+		g, err := store.intro(i, ev.A, u.Fut)
+		if err != nil {
+			return err
+		}
+		r.OnGet(u, g, f)
+	default:
+		return fmt.Errorf("replay: event %d: unexpected op %v", i, ev.Op)
+	}
+	return nil
 }
 
 // rebuild replays the structure events through a fresh Reach,
@@ -109,153 +318,16 @@ func rebuild(c *trace.Capture, r *core.Reach) ([]*sched.Strand, error) {
 		return nil, fmt.Errorf("replay: capture names %d strands/%d futures across %d events (corrupt capture)",
 			c.Strands, c.Futures, len(c.Events))
 	}
-	strands := make([]*sched.Strand, c.Strands)
-	futs := make([]*sched.FutureTask, c.Futures)
-	need := func(i int, id uint64) (*sched.Strand, error) {
-		if id >= uint64(len(strands)) || strands[id] == nil {
-			return nil, fmt.Errorf("replay: event %d: strand %d referenced before introduction", i, id)
-		}
-		return strands[id], nil
+	store := &sliceStore{
+		strands: make([]*sched.Strand, c.Strands),
+		futs:    make([]*sched.FutureTask, c.Futures),
 	}
-	intro := func(i int, id uint64, f *sched.FutureTask) (*sched.Strand, error) {
-		if id >= uint64(len(strands)) {
-			return nil, fmt.Errorf("replay: event %d: strand %d out of range", i, id)
-		}
-		if strands[id] != nil {
-			return nil, fmt.Errorf("replay: event %d: strand %d introduced twice", i, id)
-		}
-		s := &sched.Strand{ID: id, Fut: f}
-		strands[id] = s
-		return s, nil
-	}
-	needFut := func(i, id int) (*sched.FutureTask, error) {
-		if id < 0 || id >= len(futs) || futs[id] == nil {
-			return nil, fmt.Errorf("replay: event %d: future %d referenced before creation", i, id)
-		}
-		return futs[id], nil
-	}
-	for i, ev := range c.Events {
-		switch ev.Op {
-		case trace.OpRoot:
-			if i != 0 || futs[0] != nil {
-				return nil, fmt.Errorf("replay: event %d: misplaced root", i)
-			}
-			f := &sched.FutureTask{ID: 0}
-			futs[0] = f
-			root, err := intro(i, ev.U, f)
-			if err != nil {
-				return nil, err
-			}
-			r.OnRoot(root)
-		case trace.OpSpawn:
-			u, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			child, err := intro(i, ev.A, u.Fut)
-			if err != nil {
-				return nil, err
-			}
-			cont, err := intro(i, ev.B, u.Fut)
-			if err != nil {
-				return nil, err
-			}
-			var ph *sched.Strand
-			if ev.Placeholder > 0 {
-				if ph, err = intro(i, ev.Placeholder-1, u.Fut); err != nil {
-					return nil, err
-				}
-			}
-			r.OnSpawn(u, child, cont, ph)
-		case trace.OpCreate:
-			u, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			parent, err := needFut(i, ev.FutParent)
-			if err != nil {
-				return nil, err
-			}
-			if ev.Fut < 0 || ev.Fut >= len(futs) || futs[ev.Fut] != nil {
-				return nil, fmt.Errorf("replay: event %d: future %d out of range or created twice", i, ev.Fut)
-			}
-			f := &sched.FutureTask{ID: ev.Fut, Parent: parent}
-			futs[ev.Fut] = f
-			first, err := intro(i, ev.A, f)
-			if err != nil {
-				return nil, err
-			}
-			cont, err := intro(i, ev.B, u.Fut)
-			if err != nil {
-				return nil, err
-			}
-			var ph *sched.Strand
-			if ev.Placeholder > 0 {
-				if ph, err = intro(i, ev.Placeholder-1, u.Fut); err != nil {
-					return nil, err
-				}
-			}
-			r.OnCreate(u, first, cont, ph, f)
-		case trace.OpSync:
-			k, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			// The sync strand is the placeholder introduced at the
-			// region's first branch; regions that never allocated one
-			// (the implicit sync of a branch-free body) introduce it here.
-			var s *sched.Strand
-			if ev.A < uint64(len(strands)) && strands[ev.A] != nil {
-				s = strands[ev.A]
-			} else if s, err = intro(i, ev.A, k.Fut); err != nil {
-				return nil, err
-			}
-			sinks := make([]*sched.Strand, len(ev.Sinks))
-			for j, id := range ev.Sinks {
-				if sinks[j], err = need(i, id); err != nil {
-					return nil, err
-				}
-			}
-			r.OnSync(k, s, sinks)
-		case trace.OpReturn:
-			sink, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			r.OnReturn(sink)
-		case trace.OpPut:
-			sink, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			f, err := needFut(i, ev.Fut)
-			if err != nil {
-				return nil, err
-			}
-			f.SetLast(sink)
-			r.OnPut(sink, f)
-		case trace.OpGet:
-			u, err := need(i, ev.U)
-			if err != nil {
-				return nil, err
-			}
-			f, err := needFut(i, ev.Fut)
-			if err != nil {
-				return nil, err
-			}
-			if f.Last() == nil {
-				return nil, fmt.Errorf("replay: event %d: get of future %d before its put", i, ev.Fut)
-			}
-			g, err := intro(i, ev.A, u.Fut)
-			if err != nil {
-				return nil, err
-			}
-			r.OnGet(u, g, f)
-		default:
-			return nil, fmt.Errorf("replay: event %d: unexpected op %v", i, ev.Op)
+	for i := range c.Events {
+		if err := applyEvent(store, r, i, &c.Events[i]); err != nil {
+			return nil, err
 		}
 	}
-	return strands, nil
+	return store.strands, nil
 }
 
 // wloc is one location's shadow state inside a worker's private shard.
@@ -350,17 +422,35 @@ func Run(c *trace.Capture, opts Options) (*Result, error) {
 	if maxRaces == 0 {
 		maxRaces = 256
 	}
-	reach := core.New(core.Config{Reach: opts.Reach, HybridDepth: opts.HybridDepth})
-	if opts.Stats != nil {
-		reach.RegisterStats(opts.Stats)
+	rw := opts.RebuildWorkers
+	// The precomputed-table path needs a label substrate: an OM list is
+	// one mutable structure that must be built in event order, so OM
+	// falls back to the serial rebuild regardless of RebuildWorkers.
+	parallelRebuild := rw > 1 && (opts.Reach == core.SubstrateDePa || opts.Reach == core.SubstrateHybrid)
+	if !parallelRebuild {
+		rw = 1
 	}
 
 	rebuildStart := time.Now()
-	strands, err := rebuild(c, reach)
+	var (
+		reach   *core.Reach
+		strands []*sched.Strand
+		rinfo   *rebuildInfo
+		err     error
+	)
+	if parallelRebuild {
+		strands, reach, rinfo, err = rebuildParallel(c, opts, rw)
+	} else {
+		reach = core.New(core.Config{Reach: opts.Reach, HybridDepth: opts.HybridDepth})
+		strands, err = rebuild(c, reach)
+	}
 	if err != nil {
 		return nil, err
 	}
 	rebuildElapsed := time.Since(rebuildStart)
+	if opts.Stats != nil {
+		reach.RegisterStats(opts.Stats)
+	}
 
 	// Pre-check block strand references once, so workers can index
 	// without validating.
@@ -374,14 +464,7 @@ func Run(c *trace.Capture, opts Options) (*Result, error) {
 	workers := make([]*worker, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
-		w := &worker{
-			id:     i,
-			locs:   map[uint64]*wloc{},
-			memoU:  make([]uint64, 1<<memoBits),
-			memoV:  make([]uint64, 1<<memoBits),
-			memoOK: make([]bool, 1<<memoBits),
-			racy:   map[uint64]bool{},
-		}
+		w := newWorker(i)
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -404,14 +487,36 @@ func Run(c *trace.Capture, opts Options) (*Result, error) {
 	detectElapsed := time.Since(detectStart)
 
 	res := &Result{
-		Strands: c.Strands,
-		Futures: uint64(c.Futures),
-		Events:  uint64(len(c.Events)),
-		Entries: c.Entries,
-		Shards:  p,
-		Rebuild: rebuildElapsed,
-		Detect:  detectElapsed,
+		Strands:         c.Strands,
+		Futures:         uint64(c.Futures),
+		Events:          uint64(len(c.Events)),
+		Entries:         c.Entries,
+		Shards:          p,
+		Rebuild:         rebuildElapsed,
+		Detect:          detectElapsed,
+		RebuildWorkers:  rw,
+		RebuildParallel: parallelRebuild,
 	}
+	if rinfo != nil {
+		res.RebuildLabels = rinfo.labels
+		res.RebuildWork = rinfo.totalWork
+		res.RebuildMaxSegment = rinfo.maxSegment
+	}
+	mergeWorkers(res, workers, maxRaces)
+	res.ReachMemBytes = reach.MemBytes()
+
+	if opts.Stats != nil {
+		registerStats(opts.Stats, res, int64(len(c.Blocks)), c.Bytes)
+	}
+	return res, nil
+}
+
+// mergeWorkers folds the per-shard results into res deterministically:
+// the per-worker orders depend only on file order, so sorting by (addr,
+// strand pair, kinds) makes the final report independent of worker
+// interleaving and worker count. Sets res.Merge.
+func mergeWorkers(res *Result, workers []*worker, maxRaces int) {
+	mergeStart := time.Now()
 	for _, w := range workers {
 		res.RaceCount += w.count
 		res.Queries += w.queries
@@ -423,9 +528,6 @@ func Run(c *trace.Capture, opts Options) (*Result, error) {
 			res.RacyAddrs = append(res.RacyAddrs, a)
 		}
 	}
-	// Deterministic merge: the per-worker orders depend only on file
-	// order, so sorting by (addr, strand pair, kinds) makes the final
-	// report independent of worker interleaving and worker count.
 	sort.Slice(res.Races, func(i, j int) bool {
 		a, b := res.Races[i], res.Races[j]
 		if a.Addr != b.Addr {
@@ -443,28 +545,56 @@ func Run(c *trace.Capture, opts Options) (*Result, error) {
 		res.Races = res.Races[:maxRaces]
 	}
 	sort.Slice(res.RacyAddrs, func(i, j int) bool { return res.RacyAddrs[i] < res.RacyAddrs[j] })
-	res.ReachMemBytes = reach.MemBytes()
+	res.Merge = time.Since(mergeStart)
+}
 
-	if opts.Stats != nil {
-		registerStats(opts.Stats, res, c)
+// newWorker allocates one detection shard.
+func newWorker(id int) *worker {
+	return &worker{
+		id:     id,
+		locs:   map[uint64]*wloc{},
+		memoU:  make([]uint64, 1<<memoBits),
+		memoV:  make([]uint64, 1<<memoBits),
+		memoOK: make([]bool, 1<<memoBits),
+		racy:   map[uint64]bool{},
 	}
-	return res, nil
 }
 
 // registerStats publishes the replay.* gauges for a completed run.
-func registerStats(reg *obsv.Registry, res *Result, c *trace.Capture) {
+func registerStats(reg *obsv.Registry, res *Result, blocks, bytes int64) {
+	streamed := int64(0)
+	wall := res.Rebuild + res.Detect + res.Merge
+	if res.Streamed {
+		streamed = 1
+		// Streamed Detect is the full pipeline wall and already
+		// contains the (overlapped) rebuild time.
+		wall = res.Detect + res.Merge
+	}
+	parallel := int64(0)
+	if res.RebuildParallel {
+		parallel = 1
+	}
 	vals := map[string]int64{
-		"replay.events":            int64(res.Events),
-		"replay.entries":           int64(res.Entries),
-		"replay.blocks":            int64(len(c.Blocks)),
-		"replay.shards":            int64(res.Shards),
-		"replay.max_shard_entries": int64(res.MaxShardEntries),
-		"replay.bytes":             c.Bytes,
-		"replay.wall_ns":           int64(res.Rebuild + res.Detect),
-		"replay.rebuild_ns":        int64(res.Rebuild),
-		"replay.detect_ns":         int64(res.Detect),
-		"replay.queries":           int64(res.Queries),
-		"replay.races":             int64(res.RaceCount),
+		"replay.events":              int64(res.Events),
+		"replay.entries":             int64(res.Entries),
+		"replay.blocks":              blocks,
+		"replay.shards":              int64(res.Shards),
+		"replay.max_shard_entries":   int64(res.MaxShardEntries),
+		"replay.bytes":               bytes,
+		"replay.wall_ns":             int64(wall),
+		"replay.rebuild_ns":          int64(res.Rebuild),
+		"replay.detect_ns":           int64(res.Detect),
+		"replay.merge_ns":            int64(res.Merge),
+		"replay.queries":             int64(res.Queries),
+		"replay.races":               int64(res.RaceCount),
+		"replay.rebuild_workers":     int64(res.RebuildWorkers),
+		"replay.rebuild_parallel":    parallel,
+		"replay.rebuild_labels":      int64(res.RebuildLabels),
+		"replay.rebuild_work":        int64(res.RebuildWork),
+		"replay.rebuild_max_segment": int64(res.RebuildMaxSegment),
+		"replay.streamed":            streamed,
+		"replay.stream_peak_blocks":  res.StreamPeakBlocks,
+		"replay.stream_peak_bytes":   res.StreamPeakBytes,
 	}
 	for name, v := range vals {
 		v := v

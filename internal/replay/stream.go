@@ -1,0 +1,243 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/sched"
+	"sforder/internal/trace"
+)
+
+// StreamQueueCap is the per-shard ready-queue capacity of the streaming
+// pipeline: how many access blocks a detection shard may lag behind the
+// loader before the loader blocks. With every block delivered to every
+// shard's queue, at most StreamQueueCap + Workers + 1 distinct blocks
+// are resident at once (the slowest queue's backlog, one in each
+// worker's hands, one at the loader) — the constant that bounds a
+// streamed replay's capture-resident memory regardless of trace length.
+const StreamQueueCap = 64
+
+// streamBlock is one access block in flight between the loader and the
+// detection shards. refs counts the shards still holding it; the last
+// one out releases its accounting.
+type streamBlock struct {
+	s     *sched.Strand
+	addrs []uint64
+	kinds []detect.AccessKind
+	bytes int64
+	refs  atomic.Int32
+}
+
+// mapStore is the dagStore of the streaming rebuild. Unlike sliceStore
+// it is never sized from a decoded total — it grows only with the
+// events actually read (each event introduces at most 3 strands and 1
+// future), so a corrupt header cannot make it allocate ahead of the
+// data.
+type mapStore struct {
+	strands map[uint64]*sched.Strand
+	futs    map[int]*sched.FutureTask
+}
+
+func newMapStore() *mapStore {
+	return &mapStore{
+		strands: make(map[uint64]*sched.Strand),
+		futs:    make(map[int]*sched.FutureTask),
+	}
+}
+
+func (st *mapStore) need(i int, id uint64) (*sched.Strand, error) {
+	s := st.strands[id]
+	if s == nil {
+		return nil, fmt.Errorf("replay: event %d: strand %d referenced before introduction", i, id)
+	}
+	return s, nil
+}
+
+func (st *mapStore) intro(i int, id uint64, f *sched.FutureTask) (*sched.Strand, error) {
+	if st.strands[id] != nil {
+		return nil, fmt.Errorf("replay: event %d: strand %d introduced twice", i, id)
+	}
+	s := &sched.Strand{ID: id, Fut: f}
+	st.strands[id] = s
+	return s, nil
+}
+
+func (st *mapStore) needFut(i, id int) (*sched.FutureTask, error) {
+	f := st.futs[id]
+	if f == nil {
+		return nil, fmt.Errorf("replay: event %d: future %d referenced before creation", i, id)
+	}
+	return f, nil
+}
+
+func (st *mapStore) introFut(i, id int, parent *sched.FutureTask) (*sched.FutureTask, error) {
+	if id < 0 || st.futs[id] != nil {
+		return nil, fmt.Errorf("replay: event %d: future %d out of range or created twice", i, id)
+	}
+	f := &sched.FutureTask{ID: id, Parent: parent}
+	st.futs[id] = f
+	return f, nil
+}
+
+// maxTo raises peak to at least v.
+func maxTo(peak *atomic.Int64, v int64) {
+	for {
+		cur := peak.Load()
+		if v <= cur || peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RunStream replays a capture directly from its byte stream, pipelining
+// the two phases: the loader thread decodes the file once in order,
+// applying structure events to the growing reachability state and
+// handing each access block to the detection shards the moment it is
+// read — detection of early blocks overlaps decoding of later ones, and
+// the capture is never resident in memory (peak in-flight blocks are
+// bounded by StreamQueueCap + Workers + 1, independent of trace
+// length).
+//
+// Soundness is the same order argument as the barriered path, carried
+// by the queues: file order is an HB-consistent linearization, the
+// loader applies every structure event before forwarding any later
+// block, and a channel send happens-before its receive — so by the time
+// a shard queries Precedes(u, v) for a block's strand, every label and
+// bitmap the query reads is already published and immutable (labels are
+// frozen at construction; a strand's gp is set before the first block
+// naming it was recorded; OM label words are seqlock-validated
+// optimistic reads designed for exactly this concurrency). Verdicts,
+// and the merged report, are bit-identical to replay.Run on the loaded
+// capture.
+//
+// The rebuild is the pipeline's producer stage, so
+// Options.RebuildWorkers does not apply (a precomputed label table
+// needs the whole structure stream first — that is the barriered
+// path's trade).
+func RunStream(r io.Reader, opts Options) (*Result, error) {
+	p := opts.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	maxRaces := opts.MaxRaces
+	if maxRaces == 0 {
+		maxRaces = 256
+	}
+	reach := core.New(core.Config{Reach: opts.Reach, HybridDepth: opts.HybridDepth})
+	if opts.Stats != nil {
+		reach.RegisterStats(opts.Stats)
+	}
+	st, err := trace.OpenStream(r)
+	if err != nil {
+		return nil, err
+	}
+
+	var inBlocks, inBytes, peakBlocks, peakBytes atomic.Int64
+	chans := make([]chan *streamBlock, p)
+	workers := make([]*worker, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		ch := make(chan *streamBlock, StreamQueueCap)
+		chans[i] = ch
+		w := newWorker(i)
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blk := range ch {
+				for j, addr := range blk.addrs {
+					if ShardOf(addr, p) != w.id {
+						continue
+					}
+					w.apply(reach, blk.s, addr, blk.kinds[j], opts.DedupByAddr)
+				}
+				if blk.refs.Add(-1) == 0 {
+					inBlocks.Add(-1)
+					inBytes.Add(-blk.bytes)
+				}
+			}
+		}()
+	}
+
+	// The loader: decode in order, apply structure events inline,
+	// broadcast access blocks. It stops at the first error; the
+	// trailer check inside the Stream means a clean io.EOF is a
+	// complete, verified capture.
+	store := newMapStore()
+	startWall := time.Now()
+	var rebuildDur time.Duration
+	var loadErr error
+	events := 0
+	for {
+		ev, blk, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			loadErr = err
+			break
+		}
+		if ev != nil {
+			t0 := time.Now()
+			loadErr = applyEvent(store, reach, events, ev)
+			rebuildDur += time.Since(t0)
+			if loadErr != nil {
+				break
+			}
+			events++
+			continue
+		}
+		s, err := store.need(events, blk.Strand)
+		if err != nil {
+			// The Stream already bounds block strand ids by the declared
+			// count; this additionally requires an actual introduction.
+			loadErr = fmt.Errorf("replay: access block names unknown strand %d", blk.Strand)
+			break
+		}
+		sb := &streamBlock{
+			s:     s,
+			addrs: blk.Addrs,
+			kinds: blk.Kinds,
+			bytes: int64(len(blk.Addrs))*9 + 64,
+		}
+		sb.refs.Store(int32(p))
+		maxTo(&peakBlocks, inBlocks.Add(1))
+		maxTo(&peakBytes, inBytes.Add(sb.bytes))
+		for _, ch := range chans {
+			ch <- sb
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	if loadErr != nil {
+		return nil, loadErr
+	}
+
+	res := &Result{
+		Strands:        st.Strands(),
+		Futures:        uint64(st.Futures()),
+		Events:         st.Events(),
+		Entries:        st.Entries(),
+		Shards:         p,
+		Rebuild:        rebuildDur,
+		Detect:         time.Since(startWall),
+		RebuildWorkers: 1,
+		Streamed:       true,
+	}
+	res.StreamPeakBlocks = peakBlocks.Load()
+	res.StreamPeakBytes = peakBytes.Load()
+	mergeWorkers(res, workers, maxRaces)
+	res.ReachMemBytes = reach.MemBytes()
+	if opts.Stats != nil {
+		registerStats(opts.Stats, res, int64(st.Blocks()), st.Bytes())
+	}
+	return res, nil
+}

@@ -1,0 +1,227 @@
+package replay_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sforder/internal/core"
+	"sforder/internal/detect"
+	"sforder/internal/obsv"
+	"sforder/internal/progen"
+	"sforder/internal/replay"
+	"sforder/internal/sched"
+	"sforder/internal/trace"
+)
+
+// recordBytes is record keeping the raw capture bytes: streaming replay
+// consumes the byte stream, not a loaded Capture.
+func recordBytes(t testing.TB, main func(*sched.Task), workers int) ([]byte, []uint64) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	reach := core.NewReach()
+	hist := detect.NewHistory(detect.Options{Reach: reach, FastPath: true, Tap: rec})
+	opts := sched.Options{Tracer: reach, Aux: rec, Checker: hist}
+	if workers <= 1 {
+		opts.Serial = true
+	} else {
+		opts.Workers = workers
+	}
+	if _, err := sched.Run(opts, main); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), hist.RacyAddrs()
+}
+
+// TestStreamReplayMatchesBarriered is the streaming verdict-equality
+// fuzz: on random programs — serial and parallel-recorded — RunStream
+// over every substrate and worker count must produce the exact merged
+// report of the barriered replay.Run on the loaded capture, which
+// itself matches online detection.
+func TestStreamReplayMatchesBarriered(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		p := progen.New(progen.Config{Seed: seed, MaxDepth: 4, MaxOps: 8, Addrs: 6})
+		recWorkers := 1
+		if seed%3 == 2 {
+			recWorkers = 4
+		}
+		raw, online := recordBytes(t, p.Main(), recWorkers)
+		c, err := trace.Load(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sub := range substrates {
+			for _, workers := range []int{1, 4} {
+				barriered, err := replay.Run(c, replay.Options{
+					Workers: workers, Reach: sub.sub, HybridDepth: sub.depth,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %s/%dw: %v", seed, sub.name, workers, err)
+				}
+				res, err := replay.RunStream(bytes.NewReader(raw), replay.Options{
+					Workers: workers, Reach: sub.sub, HybridDepth: sub.depth,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %s/%dw stream: %v", seed, sub.name, workers, err)
+				}
+				if !res.Streamed {
+					t.Fatalf("seed %d: result not marked streamed", seed)
+				}
+				sameRaces(t, sub.name, res, barriered)
+				if !sameAddrs(res.RacyAddrs, online) {
+					t.Fatalf("seed %d %s/%dw: stream %v, online %v",
+						seed, sub.name, workers, res.RacyAddrs, online)
+				}
+				if res.Entries != c.Entries || res.Strands != c.Strands || res.Events != uint64(len(c.Events)) {
+					t.Fatalf("seed %d %s/%dw: totals %d/%d/%d, capture %d/%d/%d",
+						seed, sub.name, workers, res.Entries, res.Strands, res.Events,
+						c.Entries, c.Strands, uint64(len(c.Events)))
+				}
+			}
+		}
+	}
+}
+
+// chainCapture crafts a capture whose root strand emits `blocks` access
+// blocks of `per` entries each — the block count scales freely without
+// growing the strand structure, so resident-memory bounds are isolated
+// from dag size.
+func chainCapture(t testing.TB, blocks, per int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	f0 := &sched.FutureTask{ID: 0}
+	root := &sched.Strand{ID: 0, Fut: f0}
+	rec.OnRoot(root)
+	addrs := make([]uint64, per)
+	kinds := make([]detect.AccessKind, per)
+	for b := 0; b < blocks; b++ {
+		for i := range addrs {
+			addrs[i] = uint64(b*per + i)
+			kinds[i] = detect.AccessWrite
+		}
+		rec.TapAccesses(root, addrs, kinds)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamBoundedMemory pins the streaming memory bound: peak
+// capture-resident blocks never exceed StreamQueueCap + Workers + 1,
+// and the peak does not grow when the trace gets 10× longer — constant
+// memory in trace length.
+func TestStreamBoundedMemory(t *testing.T) {
+	const workers = 2
+	bound := int64(replay.StreamQueueCap + workers + 1)
+	var peaks []int64
+	for _, blocks := range []int{200, 2000} {
+		raw := chainCapture(t, blocks, 8)
+		res, err := replay.RunStream(bytes.NewReader(raw), replay.Options{
+			Workers: workers, Reach: core.SubstrateDePa,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StreamPeakBlocks == 0 || res.StreamPeakBytes == 0 {
+			t.Fatalf("%d blocks: no peak accounted", blocks)
+		}
+		if res.StreamPeakBlocks > bound {
+			t.Fatalf("%d blocks: peak %d blocks, bound %d", blocks, res.StreamPeakBlocks, bound)
+		}
+		peaks = append(peaks, res.StreamPeakBlocks)
+	}
+	if peaks[1] > bound {
+		t.Fatalf("10× trace pushed the peak to %d (bound %d)", peaks[1], bound)
+	}
+}
+
+// TestStreamRejectsCorrupt: truncations and structure violations fail
+// the streamed replay with an error, never a partial verdict.
+func TestStreamRejectsCorrupt(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 2, MaxDepth: 4, MaxOps: 8, Addrs: 4})
+	raw, _ := recordBytes(t, p.Main(), 1)
+	for _, cut := range []int{len(raw) - 1, len(raw) / 2, 30} {
+		if _, err := replay.RunStream(bytes.NewReader(raw[:cut]), replay.Options{
+			Workers: 2, Reach: core.SubstrateDePa,
+		}); err == nil {
+			t.Errorf("cut at %d: streamed replay succeeded", cut)
+		}
+	}
+	// A block naming an undeclared strand dies in the decoder before it
+	// can reach a shard.
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	f0 := &sched.FutureTask{ID: 0}
+	rec.OnRoot(&sched.Strand{ID: 0, Fut: f0})
+	rec.TapAccesses(&sched.Strand{ID: 50, Fut: f0}, []uint64{1}, []detect.AccessKind{detect.AccessWrite})
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.RunStream(bytes.NewReader(buf.Bytes()), replay.Options{
+		Workers: 2, Reach: core.SubstrateDePa,
+	}); err == nil {
+		t.Error("streamed replay accepted a block for an undeclared strand")
+	}
+}
+
+// TestStreamConcurrentPublication is the -race stress of the pipeline's
+// core hazard: the loader publishing labels and bitmaps (including OM
+// list inserts with relabelings) while eight shards concurrently query
+// them — across all three substrates, on parallel-recorded captures,
+// with several streams in flight at once.
+func TestStreamConcurrentPublication(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 13, MaxDepth: 5, MaxOps: 9, Addrs: 8})
+	raw, online := recordBytes(t, p.Main(), 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := substrates[i%len(substrates)]
+			res, err := replay.RunStream(bytes.NewReader(raw), replay.Options{
+				Workers: 8, Reach: sub.sub, HybridDepth: sub.depth,
+			})
+			if err != nil {
+				t.Errorf("stream %d: %v", i, err)
+				return
+			}
+			if !sameAddrs(res.RacyAddrs, online) {
+				t.Errorf("stream %d (%s): %v, online %v", i, sub.name, res.RacyAddrs, online)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStreamGauges: a streamed run registers the stream gauges.
+func TestStreamGauges(t *testing.T) {
+	p := progen.New(progen.Config{Seed: 3, MaxDepth: 4, MaxOps: 7})
+	raw, _ := recordBytes(t, p.Main(), 1)
+	reg := obsv.NewRegistry()
+	res, err := replay.RunStream(bytes.NewReader(raw), replay.Options{
+		Workers: 2, Reach: core.SubstrateDePa, Stats: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["replay.streamed"] != 1 {
+		t.Errorf("replay.streamed = %d, want 1", snap["replay.streamed"])
+	}
+	if snap["replay.stream_peak_blocks"] != res.StreamPeakBlocks {
+		t.Errorf("peak gauge %d, result %d", snap["replay.stream_peak_blocks"], res.StreamPeakBlocks)
+	}
+	if snap["replay.bytes"] == 0 || snap["replay.wall_ns"] == 0 {
+		t.Errorf("bytes/wall gauges empty: %d/%d", snap["replay.bytes"], snap["replay.wall_ns"])
+	}
+	if snap["replay.merge_ns"] < 0 {
+		t.Errorf("merge gauge negative")
+	}
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Role classifies how a strand entered the dag — which branch component
+// its fork-path label appends to its parent's. The mapping to label
+// components is the consumer's business (internal/replay maps
+// RoleChild and RoleGet to depa.Child, RoleCont to depa.Cont, RoleSync
+// to depa.Sync); the index stays substrate-agnostic.
+type Role uint8
+
+const (
+	// RoleRoot is the run's root strand (no parent).
+	RoleRoot Role = iota
+	// RoleChild is a spawned child or a created future's first strand.
+	RoleChild
+	// RoleCont is the continuation of a forking strand.
+	RoleCont
+	// RoleSync is the eagerly placed sync placeholder of a region.
+	RoleSync
+	// RoleGet is a get strand: the serial successor of the getting
+	// strand.
+	RoleGet
+)
+
+// PathIndex is a capture's segment index: every strand's fork path —
+// label parent, branch role, owning future — extracted from the
+// structure events in one serial validating pass and laid out in
+// introduction order, so parents always precede children and
+// contiguous index ranges are independent units of label-construction
+// work. It is the partitioning pass of the parallel replay rebuild:
+// everything a worker needs to compute a segment's labels without
+// replaying events or touching shared state.
+//
+// All per-strand arrays are indexed by introduction position (file
+// order), not strand ID — under parallel recording, IDs are not
+// monotone in file order, and only introduction order guarantees the
+// parent-before-child topology the label recurrence needs. Pos maps
+// strand IDs back to positions.
+type PathIndex struct {
+	// Order holds the strand IDs in introduction (file) order.
+	Order []uint64
+	// Parent holds, per introduction position, the position of the
+	// strand's label parent (always smaller), -1 for the root.
+	Parent []int32
+	// Role holds each strand's branch role.
+	Role []Role
+	// Fut holds each strand's owning future ID.
+	Fut []int32
+	// Pos maps a strand ID to its introduction position, -1 when the
+	// capture never introduces the ID (IDs may be sparse).
+	Pos []int32
+	// FutParent maps a future ID to its parent future's ID, -1 for the
+	// root future.
+	FutParent []int32
+}
+
+// Index builds the capture's PathIndex, validating the structural
+// invariants the rebuild depends on along the way: a single leading
+// root, every referenced strand and future introduced first, no double
+// introductions, sync strands pre-placed at their region's first
+// branch, and puts preceding gets. It performs no reachability work —
+// the index is the input to parallel label construction, an error here
+// is a corrupt capture.
+func (c *Capture) Index() (*PathIndex, error) {
+	// Dense-ID sanity first (same bound the serial rebuild applies): a
+	// structurally consistent capture introduces at most 3 strands and
+	// 1 future per event, so the decoded maxima cannot be trusted
+	// beyond that before sizing anything.
+	if c.Strands > 3*uint64(len(c.Events))+1 || uint64(c.Futures) > uint64(len(c.Events))+1 {
+		return nil, fmt.Errorf("trace: index: capture names %d strands/%d futures across %d events (corrupt capture)",
+			c.Strands, c.Futures, len(c.Events))
+	}
+	if c.Strands > math.MaxInt32 {
+		return nil, fmt.Errorf("trace: index: %d strands exceed the index limit", c.Strands)
+	}
+
+	idx := &PathIndex{
+		Pos:       make([]int32, c.Strands),
+		FutParent: make([]int32, c.Futures),
+	}
+	for i := range idx.Pos {
+		idx.Pos[i] = -1
+	}
+	futSeen := make([]bool, c.Futures)
+	futPut := make([]bool, c.Futures)
+	for i := range idx.FutParent {
+		idx.FutParent[i] = -1
+	}
+
+	need := func(i int, id uint64) (int32, error) {
+		if id >= uint64(len(idx.Pos)) || idx.Pos[id] < 0 {
+			return 0, fmt.Errorf("trace: index: event %d: strand %d referenced before introduction", i, id)
+		}
+		return idx.Pos[id], nil
+	}
+	intro := func(i int, id uint64, parent int32, role Role, fut int32) error {
+		if id >= uint64(len(idx.Pos)) {
+			return fmt.Errorf("trace: index: event %d: strand %d out of range", i, id)
+		}
+		if idx.Pos[id] >= 0 {
+			return fmt.Errorf("trace: index: event %d: strand %d introduced twice", i, id)
+		}
+		idx.Pos[id] = int32(len(idx.Order))
+		idx.Order = append(idx.Order, id)
+		idx.Parent = append(idx.Parent, parent)
+		idx.Role = append(idx.Role, role)
+		idx.Fut = append(idx.Fut, fut)
+		return nil
+	}
+	needFut := func(i, id int) error {
+		if id < 0 || id >= len(futSeen) || !futSeen[id] {
+			return fmt.Errorf("trace: index: event %d: future %d referenced before creation", i, id)
+		}
+		return nil
+	}
+
+	for i, ev := range c.Events {
+		switch ev.Op {
+		case OpRoot:
+			if i != 0 || len(idx.Order) != 0 {
+				return nil, fmt.Errorf("trace: index: event %d: misplaced root", i)
+			}
+			futSeen[0] = true
+			if err := intro(i, ev.U, -1, RoleRoot, 0); err != nil {
+				return nil, err
+			}
+		case OpSpawn, OpCreate:
+			u, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			childFut := idx.Fut[u]
+			if ev.Op == OpCreate {
+				if err := needFut(i, ev.FutParent); err != nil {
+					return nil, err
+				}
+				if ev.Fut < 0 || ev.Fut >= len(futSeen) || futSeen[ev.Fut] {
+					return nil, fmt.Errorf("trace: index: event %d: future %d out of range or created twice", i, ev.Fut)
+				}
+				futSeen[ev.Fut] = true
+				idx.FutParent[ev.Fut] = int32(ev.FutParent)
+				childFut = int32(ev.Fut)
+			}
+			if err := intro(i, ev.A, u, RoleChild, childFut); err != nil {
+				return nil, err
+			}
+			if err := intro(i, ev.B, u, RoleCont, idx.Fut[u]); err != nil {
+				return nil, err
+			}
+			if ev.Placeholder > 0 {
+				if err := intro(i, ev.Placeholder-1, u, RoleSync, idx.Fut[u]); err != nil {
+					return nil, err
+				}
+			}
+		case OpSync:
+			if _, err := need(i, ev.U); err != nil {
+				return nil, err
+			}
+			// The sync strand is the placeholder eagerly introduced at
+			// the region's first branch; the scheduler emits no sync
+			// for branch-free regions, so an unintroduced sync strand
+			// is corruption, not a late introduction.
+			if _, err := need(i, ev.A); err != nil {
+				return nil, fmt.Errorf("trace: index: event %d: sync strand %d was never placed at a branch", i, ev.A)
+			}
+			for _, id := range ev.Sinks {
+				if _, err := need(i, id); err != nil {
+					return nil, err
+				}
+			}
+		case OpReturn:
+			if _, err := need(i, ev.U); err != nil {
+				return nil, err
+			}
+		case OpPut:
+			if _, err := need(i, ev.U); err != nil {
+				return nil, err
+			}
+			if err := needFut(i, ev.Fut); err != nil {
+				return nil, err
+			}
+			futPut[ev.Fut] = true
+		case OpGet:
+			u, err := need(i, ev.U)
+			if err != nil {
+				return nil, err
+			}
+			if err := needFut(i, ev.Fut); err != nil {
+				return nil, err
+			}
+			if !futPut[ev.Fut] {
+				return nil, fmt.Errorf("trace: index: event %d: get of future %d before its put", i, ev.Fut)
+			}
+			if err := intro(i, ev.A, u, RoleGet, idx.Fut[u]); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("trace: index: event %d: unexpected op %v", i, ev.Op)
+		}
+	}
+	if len(c.Events) > 0 && len(idx.Order) == 0 {
+		return nil, fmt.Errorf("trace: index: capture has events but introduces no strands")
+	}
+	return idx, nil
+}

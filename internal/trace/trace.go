@@ -420,128 +420,33 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // Load decodes a capture. Any malformation — wrong magic, byte order,
-// or version, a truncated stream, counts that do not match the trailer —
-// is an error; Load never returns a partially decoded capture.
+// or version, a truncated stream, counts that do not match the trailer,
+// an access block naming a strand no structure event declared — is an
+// error; Load never returns a partially decoded capture. Strands and
+// Futures are sized by the structure events alone: the access stream
+// cannot inflate them (see Stream).
 func Load(r io.Reader) (*Capture, error) {
-	cr := &countingReader{r: r}
-	br := bufio.NewReaderSize(cr, 1<<16)
-	var hdr [12]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: load: short header: %w", err)
-	}
-	if [8]byte(hdr[:8]) != magic {
-		return nil, fmt.Errorf("trace: load: bad magic %q (not an sftrace capture)", hdr[:8])
-	}
-	if [4]byte(hdr[8:12]) != byteMark {
-		return nil, fmt.Errorf("trace: load: byte-order marker % x, want % x (foreign byte order)",
-			hdr[8:12], byteMark[:])
-	}
-	version, err := binary.ReadUvarint(br)
+	st, err := OpenStream(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: load: version: %w", err)
+		return nil, err
 	}
-	if version != Version {
-		return nil, fmt.Errorf("trace: load: format version %d, want %d (stale or foreign capture; re-record it)",
-			version, Version)
-	}
-
 	c := &Capture{}
-	uv := func() uint64 {
-		if err != nil {
-			return 0
-		}
-		var v uint64
-		v, err = binary.ReadUvarint(br)
-		return v
-	}
-	noteStrand := func(id uint64) uint64 {
-		if id+1 > c.Strands {
-			c.Strands = id + 1
-		}
-		return id
-	}
-	noteFut := func(id uint64) int {
-		if int(id)+1 > c.Futures {
-			c.Futures = int(id) + 1
-		}
-		return int(id)
-	}
 	for {
-		opByte, e := br.ReadByte()
-		if e != nil {
-			return nil, fmt.Errorf("trace: load: truncated capture (no trailer): %w", e)
-		}
-		op := Op(opByte)
-		switch op {
-		case OpRoot:
-			noteFut(0) // the root strand belongs to the implicit future 0
-			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv())})
-		case OpSpawn:
-			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), B: noteStrand(uv()), Placeholder: uv()}
-			if ev.Placeholder > 0 {
-				noteStrand(ev.Placeholder - 1)
-			}
-			c.Events = append(c.Events, ev)
-		case OpCreate:
-			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), B: noteStrand(uv()), Placeholder: uv()}
-			if ev.Placeholder > 0 {
-				noteStrand(ev.Placeholder - 1)
-			}
-			ev.Fut = noteFut(uv())
-			ev.FutParent = noteFut(uv())
-			c.Events = append(c.Events, ev)
-		case OpSync:
-			ev := Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv())}
-			n := uv()
-			for i := uint64(0); i < n && err == nil; i++ {
-				ev.Sinks = append(ev.Sinks, noteStrand(uv()))
-			}
-			c.Events = append(c.Events, ev)
-		case OpReturn:
-			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv())})
-		case OpPut:
-			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv()), Fut: noteFut(uv())})
-		case OpGet:
-			c.Events = append(c.Events, Event{Op: op, U: noteStrand(uv()), A: noteStrand(uv()), Fut: noteFut(uv())})
-		case opAccess:
-			b := AccessBlock{Strand: noteStrand(uv())}
-			n := uv()
-			if err == nil {
-				nb := (n + 7) / 8
-				bits := make([]byte, 0, min(nb, 1<<16))
-				for i := uint64(0); i < nb && err == nil; i++ {
-					var kb byte
-					kb, err = br.ReadByte()
-					bits = append(bits, kb)
-				}
-				for i := uint64(0); i < n && err == nil; i++ {
-					b.Addrs = append(b.Addrs, uv())
-					k := detect.AccessRead
-					if bits[i/8]&(1<<(i%8)) != 0 {
-						k = detect.AccessWrite
-					}
-					b.Kinds = append(b.Kinds, k)
-				}
-			}
-			c.Entries += uint64(len(b.Addrs))
-			c.Blocks = append(c.Blocks, b)
-		case opEnd:
-			wantStruct, wantEntries := uv(), uv()
-			if err != nil {
-				return nil, fmt.Errorf("trace: load: truncated trailer: %w", err)
-			}
-			if wantStruct != uint64(len(c.Events)) || wantEntries != c.Entries {
-				return nil, fmt.Errorf("trace: load: trailer mismatch: %d/%d events, %d/%d access entries (corrupt capture)",
-					len(c.Events), wantStruct, c.Entries, wantEntries)
-			}
-			c.Bytes = cr.n - int64(br.Buffered())
+		ev, blk, err := st.Next()
+		if err == io.EOF {
+			c.Strands = st.Strands()
+			c.Futures = st.Futures()
+			c.Entries = st.Entries()
+			c.Bytes = st.Bytes()
 			return c, nil
-		default:
-			return nil, fmt.Errorf("trace: load: unknown op %d at event %d (corrupt capture)",
-				opByte, len(c.Events)+len(c.Blocks))
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: load: truncated capture: %w", err)
+			return nil, err
+		}
+		if ev != nil {
+			c.Events = append(c.Events, *ev)
+		} else {
+			c.Blocks = append(c.Blocks, *blk)
 		}
 	}
 }

@@ -413,6 +413,21 @@ type ReplayConfig struct {
 	// count; addresses are hash-partitioned so each location's history
 	// lives wholly in one shard.
 	Workers int
+	// RebuildWorkers parallelizes the dag rebuild itself when above 1:
+	// the strand forest is partitioned into independent segments and
+	// the immutable fork-path labels are constructed concurrently (no
+	// order-maintenance list, no locks). Label substrates only
+	// (ReachDePa/ReachHybrid); the OM backend rebuilds serially.
+	// Ignored under Streaming, where the rebuild is the pipeline's
+	// producer stage.
+	RebuildWorkers int
+	// Streaming replays directly from the byte stream: structure
+	// events are applied and access blocks dispatched to the detection
+	// shards as they are decoded, through a bounded ready-queue — the
+	// capture is never loaded into memory, so arbitrarily long traces
+	// replay in constant resident space. The verdict is identical to
+	// the barriered replay.
+	Streaming bool
 	// Reach selects the reachability substrate the dag is rebuilt on.
 	// ReachDePa and ReachHybrid are natural offline choices (immutable
 	// labels, lock-free queries); the default OM pair also works.
@@ -435,20 +450,28 @@ type ReplayResult = replay.Result
 // race list is deterministic — independent of Workers and of the
 // recorded schedule.
 func Replay(r io.Reader, cfg ReplayConfig) (*ReplayResult, error) {
-	c, err := trace.Load(r)
-	if err != nil {
-		return nil, fmt.Errorf("sforder: replay: %w", err)
-	}
 	opts := replay.Options{
-		Workers:     cfg.Workers,
-		MaxRaces:    cfg.MaxRaces,
-		DedupByAddr: cfg.DedupByAddr,
+		Workers:        cfg.Workers,
+		RebuildWorkers: cfg.RebuildWorkers,
+		MaxRaces:       cfg.MaxRaces,
+		DedupByAddr:    cfg.DedupByAddr,
 	}
 	switch cfg.Reach {
 	case ReachDePa:
 		opts.Reach = core.SubstrateDePa
 	case ReachHybrid:
 		opts.Reach = core.SubstrateHybrid
+	}
+	if cfg.Streaming {
+		res, err := replay.RunStream(r, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sforder: replay: %w", err)
+		}
+		return res, nil
+	}
+	c, err := trace.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("sforder: replay: %w", err)
 	}
 	res, err := replay.Run(c, opts)
 	if err != nil {

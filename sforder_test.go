@@ -1,6 +1,7 @@
 package sforder_test
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -187,6 +188,52 @@ func TestDetectorStrings(t *testing.T) {
 	for d, s := range want {
 		if d.String() != s {
 			t.Errorf("%d.String() = %q, want %q", d, d.String(), s)
+		}
+	}
+}
+
+// TestReplayRoundTrip records a racy run through the public API and
+// replays it through all three offline paths — barriered serial,
+// barriered with a parallel rebuild, and streamed — checking all agree
+// with the online verdict.
+func TestReplayRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	main := func(t *sforder.Task) {
+		h := t.Create(func(c *sforder.Task) any {
+			c.Write(3)
+			return nil
+		})
+		t.Write(3)
+		t.Get(h)
+	}
+	res, err := sforder.Run(sforder.Config{Serial: true, Record: &buf}, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RaceCount == 0 {
+		t.Fatal("seeded race missed online")
+	}
+	raw := buf.Bytes()
+	for _, cfg := range []sforder.ReplayConfig{
+		{Workers: 2, Reach: sforder.ReachDePa},
+		{Workers: 2, RebuildWorkers: 4, Reach: sforder.ReachDePa},
+		{Workers: 2, RebuildWorkers: 4, Reach: sforder.ReachHybrid},
+		{Workers: 2, Streaming: true, Reach: sforder.ReachDePa},
+		{Workers: 2, Streaming: true}, // default OM backend streams too
+	} {
+		rr, err := sforder.Replay(bytes.NewReader(raw), cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if rr.RaceCount == 0 || len(rr.RacyAddrs) != 1 || rr.RacyAddrs[0] != 3 {
+			t.Fatalf("%+v: replay verdict %d races on %v, want addr 3",
+				cfg, rr.RaceCount, rr.RacyAddrs)
+		}
+		if cfg.RebuildWorkers > 1 && !rr.RebuildParallel {
+			t.Fatalf("%+v: parallel rebuild did not engage", cfg)
+		}
+		if cfg.Streaming != rr.Streamed {
+			t.Fatalf("%+v: streamed=%v", cfg, rr.Streamed)
 		}
 	}
 }
